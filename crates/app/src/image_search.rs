@@ -1,0 +1,206 @@
+//! Synthetic multi-descriptor image corpus and the end-to-end search
+//! pipeline of §5.5.
+//!
+//! The Yorck corpus (SURF descriptors of 10,000 art images) is not
+//! redistributable; the stand-in gives every image its own descriptor
+//! distribution (a per-image Gaussian cluster over a handful of "visual
+//! words"), so that descriptors of the same image are mutual near-neighbors
+//! — the property Borda aggregation exploits. A query image is a *distorted
+//! re-render* of a database image (noise added to each descriptor), making
+//! the source image the unambiguous ground-truth answer.
+
+use crate::borda::borda_count;
+use hd_core::dataset::Dataset;
+use hd_core::topk::Neighbor;
+use rand::{Rng, SeedableRng};
+
+/// A corpus of images, each owning a contiguous run of descriptors.
+#[derive(Debug)]
+pub struct ImageCorpus {
+    /// All descriptors of all images, flattened.
+    pub descriptors: Dataset,
+    /// `owner[d]` = image id of descriptor `d`.
+    pub owner: Vec<u32>,
+    pub n_images: usize,
+    pub descs_per_image: usize,
+    dim: usize,
+    lo: f32,
+    hi: f32,
+    seed: u64,
+}
+
+impl ImageCorpus {
+    /// Generates `n_images` images with `descs_per_image` descriptors each,
+    /// in a `dim`-dimensional descriptor space over `[lo, hi]`.
+    pub fn generate(
+        n_images: usize,
+        descs_per_image: usize,
+        dim: usize,
+        lo: f32,
+        hi: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(n_images > 0 && descs_per_image > 0 && dim > 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let span = hi - lo;
+        let mut descriptors = Dataset::new(dim);
+        descriptors.reserve(n_images * descs_per_image);
+        let mut owner = Vec::with_capacity(n_images * descs_per_image);
+
+        for img in 0..n_images {
+            // Each image has a few "visual words" (sub-clusters).
+            let n_words = 4.min(descs_per_image);
+            let words: Vec<Vec<f32>> = (0..n_words)
+                .map(|_| (0..dim).map(|_| rng.gen_range(lo..=hi)).collect())
+                .collect();
+            for d in 0..descs_per_image {
+                let w = &words[d % n_words];
+                let desc: Vec<f32> = w
+                    .iter()
+                    .map(|&c| (c + rng.gen_range(-0.02..0.02) * span).clamp(lo, hi))
+                    .collect();
+                descriptors.push(&desc);
+                owner.push(img as u32);
+            }
+        }
+        Self {
+            descriptors,
+            owner,
+            n_images,
+            descs_per_image,
+            dim,
+            lo,
+            hi,
+            seed,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Renders a *query image*: the descriptors of database image `img`,
+    /// each perturbed by `noise` (fraction of the domain span).
+    pub fn query_image(&self, img: usize, noise: f32) -> Dataset {
+        assert!(img < self.n_images, "image out of range");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ (img as u64) << 20 | 0xA11CE);
+        let span = self.hi - self.lo;
+        let mut q = Dataset::new(self.dim);
+        let start = img * self.descs_per_image;
+        for d in start..start + self.descs_per_image {
+            let desc: Vec<f32> = self
+                .descriptors
+                .get(d)
+                .iter()
+                .map(|&v| (v + rng.gen_range(-noise..=noise) * span).clamp(self.lo, self.hi))
+                .collect();
+            q.push(&desc);
+        }
+        q
+    }
+}
+
+/// Outcome of one image search: ranked `(image, borda score)` pairs.
+#[derive(Debug, Clone)]
+pub struct ImageSearchResult {
+    pub ranked: Vec<(u32, u64)>,
+}
+
+impl ImageSearchResult {
+    /// Top-k image ids.
+    pub fn top_k(&self, k: usize) -> Vec<u32> {
+        self.ranked.iter().take(k).map(|&(i, _)| i).collect()
+    }
+
+    /// Overlap with another ranked result at depth k (|A∩B|/k) — the
+    /// "overlap with the ground truth produced by linear scan" measure the
+    /// paper uses to compare methods in §5.5.
+    pub fn overlap_at(&self, other: &ImageSearchResult, k: usize) -> f64 {
+        let a: std::collections::HashSet<u32> = self.top_k(k).into_iter().collect();
+        let b: std::collections::HashSet<u32> = other.top_k(k).into_iter().collect();
+        a.intersection(&b).count() as f64 / k.max(1) as f64
+    }
+}
+
+/// Runs the full §5.5 pipeline: per-descriptor kANN through `search` (any
+/// index's query closure), then Borda aggregation over the corpus ownership
+/// map.
+pub fn search_image<F>(
+    corpus: &ImageCorpus,
+    query: &Dataset,
+    k_per_descriptor: usize,
+    mut search: F,
+) -> ImageSearchResult
+where
+    F: FnMut(&[f32], usize) -> Vec<Neighbor>,
+{
+    let results: Vec<Vec<Neighbor>> = query
+        .iter()
+        .map(|desc| search(desc, k_per_descriptor))
+        .collect();
+    ImageSearchResult {
+        ranked: borda_count(&corpus.owner, &results),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_core::ground_truth::knn_exact;
+
+    fn corpus() -> ImageCorpus {
+        ImageCorpus::generate(30, 8, 32, 0.0, 255.0, 99)
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let c = corpus();
+        assert_eq!(c.descriptors.len(), 240);
+        assert_eq!(c.owner.len(), 240);
+        assert_eq!(c.owner[0], 0);
+        assert_eq!(c.owner[239], 29);
+    }
+
+    #[test]
+    fn linear_scan_pipeline_recovers_source_image() {
+        let c = corpus();
+        for img in [0usize, 7, 29] {
+            let q = c.query_image(img, 0.01);
+            let result = search_image(&c, &q, 10, |desc, k| knn_exact(&c.descriptors, desc, k));
+            assert_eq!(
+                result.top_k(1)[0],
+                img as u32,
+                "query render of image {img} must retrieve it"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_noise_degrades_rank_gracefully() {
+        let c = corpus();
+        let q = c.query_image(3, 0.01);
+        let clean = search_image(&c, &q, 10, |d, k| knn_exact(&c.descriptors, d, k));
+        let q_noisy = c.query_image(3, 0.4);
+        let noisy = search_image(&c, &q_noisy, 10, |d, k| knn_exact(&c.descriptors, d, k));
+        let clean_score = clean.ranked.iter().find(|&&(i, _)| i == 3).unwrap().1;
+        let noisy_score = noisy
+            .ranked
+            .iter()
+            .find(|&&(i, _)| i == 3)
+            .map(|&(_, s)| s)
+            .unwrap_or(0);
+        assert!(clean_score > noisy_score, "{clean_score} vs {noisy_score}");
+    }
+
+    #[test]
+    fn overlap_metric() {
+        let a = ImageSearchResult {
+            ranked: vec![(1, 10), (2, 8), (3, 5)],
+        };
+        let b = ImageSearchResult {
+            ranked: vec![(2, 9), (1, 7), (9, 6)],
+        };
+        assert!((a.overlap_at(&b, 2) - 1.0).abs() < 1e-12);
+        assert!((a.overlap_at(&b, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! Image-search application layer (paper §5.5, Appendices D–E).
+//!
+//! The paper's closing argument is an end-to-end retrieval task: every
+//! descriptor of a query image runs a kANN search, and per-image scores are
+//! aggregated with the **Borda count** (Eq. 7); small per-descriptor errors
+//! wash out in aggregation — the reason kANN (and MAP as its quality metric)
+//! is the right primitive for real retrieval systems.
+//!
+//! [`borda`] implements the rank-aggregation exactly as Appendix D defines
+//! it; [`image_search`] provides a synthetic multi-descriptor image corpus
+//! (standing in for the Yorck SURF corpus, see DESIGN.md §2) and the
+//! search-aggregate-evaluate pipeline.
+
+pub mod borda;
+pub mod image_search;
+
+pub use borda::borda_count;
+pub use image_search::{ImageCorpus, ImageSearchResult};

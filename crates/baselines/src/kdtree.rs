@@ -1,0 +1,287 @@
+//! In-memory kd-tree with best-first *incremental* nearest-neighbor search
+//! (Hjaltason & Samet). SRS uses this to enumerate its 6-dimensional
+//! projected points in strictly increasing projected distance.
+
+use hd_core::distance::l2_sq;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        /// Indices into the point table.
+        items: Vec<u32>,
+    },
+    Split {
+        axis: usize,
+        value: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A static kd-tree over low-dimensional points.
+#[derive(Debug)]
+pub struct KdTree {
+    dim: usize,
+    points: Vec<f32>, // row-major
+    root: Node,
+    len: usize,
+}
+
+const LEAF_SIZE: usize = 16;
+
+impl KdTree {
+    /// Builds by recursive median splits (axes cycled by depth).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or not a multiple of `dim`.
+    pub fn build(dim: usize, points: Vec<f32>) -> Self {
+        assert!(dim > 0 && !points.is_empty(), "empty input");
+        assert_eq!(points.len() % dim, 0, "ragged input");
+        let n = points.len() / dim;
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let root = Self::build_node(dim, &points, &mut idx, 0);
+        Self {
+            dim,
+            points,
+            root,
+            len: n,
+        }
+    }
+
+    fn build_node(dim: usize, pts: &[f32], idx: &mut [u32], depth: usize) -> Node {
+        if idx.len() <= LEAF_SIZE {
+            return Node::Leaf {
+                items: idx.to_vec(),
+            };
+        }
+        let axis = depth % dim;
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            let va = pts[a as usize * dim + axis];
+            let vb = pts[b as usize * dim + axis];
+            va.partial_cmp(&vb).unwrap_or(Ordering::Equal)
+        });
+        let value = pts[idx[mid] as usize * dim + axis];
+        let (lo, hi) = idx.split_at_mut(mid);
+        Node::Split {
+            axis,
+            value,
+            left: Box::new(Self::build_node(dim, pts, lo, depth + 1)),
+            right: Box::new(Self::build_node(dim, pts, hi, depth + 1)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn point(&self, id: u32) -> &[f32] {
+        &self.points[id as usize * self.dim..(id as usize + 1) * self.dim]
+    }
+
+    /// Heap bytes held by the tree (points + topology estimate).
+    pub fn memory_bytes(&self) -> usize {
+        self.points.capacity() * 4 + self.len * 8
+    }
+
+    /// Begins an incremental NN traversal from `query`.
+    pub fn incremental_nn<'a>(&'a self, query: &[f32]) -> IncrementalNn<'a> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let mut it = IncrementalNn {
+            tree: self,
+            query: query.to_vec(),
+            heap: BinaryHeap::new(),
+        };
+        it.heap.push(HeapItem {
+            dist: 0.0,
+            kind: ItemKind::Node(&self.root, Vec::new()),
+        });
+        it
+    }
+}
+
+enum ItemKind<'a> {
+    /// Node plus the axis-distance contributions that define its bounding
+    /// slab (enough for correct min-distance: each split adds a per-axis
+    /// lower-bound term).
+    Node(&'a Node, Vec<(usize, f32)>),
+    Point(u32),
+}
+
+struct HeapItem<'a> {
+    dist: f32,
+    kind: ItemKind<'a>,
+}
+
+impl PartialEq for HeapItem<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapItem<'_> {}
+impl PartialOrd for HeapItem<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Iterator yielding `(id, squared_distance)` in non-decreasing distance.
+pub struct IncrementalNn<'a> {
+    tree: &'a KdTree,
+    query: Vec<f32>,
+    heap: BinaryHeap<HeapItem<'a>>,
+}
+
+impl Iterator for IncrementalNn<'_> {
+    type Item = (u32, f32);
+
+    fn next(&mut self) -> Option<(u32, f32)> {
+        while let Some(HeapItem { dist, kind }) = self.heap.pop() {
+            match kind {
+                ItemKind::Point(id) => return Some((id, dist)),
+                ItemKind::Node(node, bounds) => match node {
+                    Node::Leaf { items } => {
+                        for &id in items {
+                            let d = l2_sq(&self.query, self.tree.point(id));
+                            self.heap.push(HeapItem {
+                                dist: d,
+                                kind: ItemKind::Point(id),
+                            });
+                        }
+                    }
+                    Node::Split {
+                        axis,
+                        value,
+                        left,
+                        right,
+                    } => {
+                        let q = self.query[*axis];
+                        // The child on the query's side inherits the parent
+                        // bound; the other side's bound on `axis` becomes at
+                        // least (q - value)².
+                        let (near, far): (&Node, &Node) = if q <= *value {
+                            (left, right)
+                        } else {
+                            (right, left)
+                        };
+                        self.heap.push(HeapItem {
+                            dist,
+                            kind: ItemKind::Node(near, bounds.clone()),
+                        });
+                        let gap = q - *value;
+                        let mut far_bounds = bounds;
+                        // Replace (don't stack) the bound for this axis.
+                        let term = gap * gap;
+                        let mut far_dist = dist;
+                        if let Some(slot) = far_bounds.iter_mut().find(|(a, _)| a == axis) {
+                            if term > slot.1 {
+                                far_dist = far_dist - slot.1 + term;
+                                slot.1 = term;
+                            }
+                        } else {
+                            far_bounds.push((*axis, term));
+                            far_dist += term;
+                        }
+                        self.heap.push(HeapItem {
+                            dist: far_dist,
+                            kind: ItemKind::Node(far, far_bounds),
+                        });
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-10.0..10.0)).collect()
+    }
+
+    #[test]
+    fn incremental_order_is_nondecreasing() {
+        let pts = random_points(500, 6, 1);
+        let tree = KdTree::build(6, pts);
+        let q = vec![0.5f32; 6];
+        let mut prev = -1.0f32;
+        let mut count = 0;
+        for (_, d) in tree.incremental_nn(&q) {
+            assert!(d >= prev, "distance regressed: {d} < {prev}");
+            prev = d;
+            count += 1;
+        }
+        assert_eq!(count, 500, "every point must be yielded exactly once");
+    }
+
+    #[test]
+    fn first_yield_is_true_nearest() {
+        for seed in 0..5 {
+            let pts = random_points(300, 4, seed);
+            let tree = KdTree::build(4, pts.clone());
+            let q: Vec<f32> = random_points(1, 4, seed + 100);
+            let (id, d) = tree.incremental_nn(&q).next().unwrap();
+            // Brute force.
+            let mut best = (0u32, f32::INFINITY);
+            for i in 0..300 {
+                let dd = l2_sq(&q, &pts[i * 4..(i + 1) * 4]);
+                if dd < best.1 {
+                    best = (i as u32, dd);
+                }
+            }
+            assert_eq!(d, best.1, "seed {seed}");
+            assert_eq!(id, best.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prefix_matches_brute_force_topk() {
+        let pts = random_points(400, 6, 9);
+        let tree = KdTree::build(6, pts.clone());
+        let q: Vec<f32> = random_points(1, 6, 77);
+        let got: Vec<u32> = tree.incremental_nn(&q).take(10).map(|(i, _)| i).collect();
+        let mut all: Vec<(f32, u32)> = (0..400)
+            .map(|i| (l2_sq(&q, &pts[i * 6..(i + 1) * 6]), i as u32))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let expect: Vec<u32> = all[..10].iter().map(|&(_, i)| i).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = KdTree::build(3, vec![1.0, 2.0, 3.0]);
+        let out: Vec<(u32, f32)> = tree.incremental_nn(&[1.0, 2.0, 3.0]).collect();
+        assert_eq!(out, vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn duplicate_points_all_yielded() {
+        let mut pts = Vec::new();
+        for _ in 0..50 {
+            pts.extend_from_slice(&[1.0f32, 1.0]);
+        }
+        let tree = KdTree::build(2, pts);
+        assert_eq!(tree.incremental_nn(&[0.0, 0.0]).count(), 50);
+    }
+}

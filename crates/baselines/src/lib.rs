@@ -1,0 +1,36 @@
+//! Baseline ANN methods the paper compares against (§2.2.6, §5).
+//!
+//! Every method is re-implemented from its original paper with the parameter
+//! settings of HD-Index §5 ("Parameters"):
+//!
+//! | Module | Method | Class | Storage |
+//! |---|---|---|---|
+//! | [`linear`] | exhaustive scan | exact | memory/disk |
+//! | [`vafile`] | VA-file (Weber et al., VLDB 1998) | exact | compressed scan + disk refinement |
+//! | [`idistance`] | iDistance (Yu et al., VLDB 2001) | exact | disk B+-tree |
+//! | [`multicurves`] | Multicurves (Valle et al., CIKM 2008) | SFC | disk B+-trees, full descriptors in leaves |
+//! | [`lsh::e2lsh`] | E2LSH (Datar et al., SCG 2004) | LSH | memory tables + disk verification |
+//! | [`lsh::c2lsh`] | C2LSH (Gan et al., SIGMOD 2012) | LSH | memory tables + disk verification |
+//! | [`lsh::qalsh`] | QALSH (Huang et al., VLDB 2015) | LSH | disk B+-trees + disk verification |
+//! | [`lsh::srs`] | SRS (Sun et al., VLDB 2014) | projection | tiny memory index + disk verification |
+//! | [`quantization`] | PQ / OPQ (Jégou 2011 / Ge 2013) | quantization | memory |
+//! | [`hnsw`] | HNSW (Malkov & Yashunin, 2016) | graph | memory |
+//!
+//! [`kdtree`] is the in-memory incremental-NN substrate SRS searches its
+//! 6-dimensional projected space with.
+
+pub mod hnsw;
+pub mod idistance;
+pub mod kdtree;
+pub mod linear;
+pub mod lsh;
+pub mod multicurves;
+pub mod quantization;
+pub mod stats_math;
+pub mod vafile;
+
+pub use hnsw::Hnsw;
+pub use idistance::IDistance;
+pub use linear::LinearScan;
+pub use multicurves::Multicurves;
+pub use vafile::VaFile;

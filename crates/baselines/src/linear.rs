@@ -1,0 +1,121 @@
+//! Exhaustive linear scan — the exact comparator of §5.5 and the fallback
+//! every high-dimensional index degrades toward (§2.2.1).
+//!
+//! Two flavors: an in-memory scan (the practical gold standard for quality
+//! evaluation) and a disk scan over a [`VectorHeap`] that pays one page read
+//! per page of data — the cost profile the VA-file line of work assumes.
+
+use hd_core::dataset::Dataset;
+use hd_core::distance::l2_sq;
+use hd_core::topk::{Neighbor, TopK};
+use hd_storage::VectorHeap;
+use std::io;
+use std::path::Path;
+
+/// In-memory exhaustive scan.
+#[derive(Debug)]
+pub struct LinearScan<'a> {
+    data: &'a Dataset,
+}
+
+impl<'a> LinearScan<'a> {
+    pub fn new(data: &'a Dataset) -> Self {
+        Self { data }
+    }
+
+    /// Exact k nearest neighbors, distances in true L2.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut tk = TopK::new(k.min(self.data.len()).max(1));
+        for (i, p) in self.data.iter().enumerate() {
+            tk.push(Neighbor::new(i as u32, l2_sq(query, p)));
+        }
+        let mut out = tk.into_sorted();
+        for n in &mut out {
+            n.dist = n.dist.sqrt();
+        }
+        out
+    }
+
+    /// Bytes resident in memory (the whole dataset).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.memory_bytes()
+    }
+}
+
+/// Disk-resident exhaustive scan over a paged heap file.
+#[derive(Debug)]
+pub struct DiskLinearScan {
+    heap: VectorHeap,
+}
+
+impl DiskLinearScan {
+    /// Materializes `data` into a heap file at `path`.
+    pub fn build(data: &Dataset, path: impl AsRef<Path>, cache_pages: usize) -> io::Result<Self> {
+        let mut heap = VectorHeap::create(path, data.dim(), cache_pages)?;
+        for p in data.iter() {
+            heap.append(p)?;
+        }
+        heap.pool().reset_stats();
+        Ok(Self { heap })
+    }
+
+    /// Exact k nearest neighbors, reading every vector from disk.
+    pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
+        let n = self.heap.len();
+        let mut tk = TopK::new(k.min(n as usize).max(1));
+        let mut buf = Vec::with_capacity(self.heap.dim());
+        for id in 0..n {
+            self.heap.get_into(id, &mut buf)?;
+            tk.push(Neighbor::new(id as u32, l2_sq(query, &buf)));
+        }
+        let mut out = tk.into_sorted();
+        for nb in &mut out {
+            nb.dist = nb.dist.sqrt();
+        }
+        Ok(out)
+    }
+
+    pub fn heap(&self) -> &VectorHeap {
+        &self.heap
+    }
+
+    pub fn disk_bytes(&self) -> u64 {
+        self.heap.disk_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_core::dataset::{generate, DatasetProfile};
+    use hd_core::ground_truth::knn_exact;
+
+    #[test]
+    fn matches_ground_truth_kernel() {
+        let (data, queries) = generate(&DatasetProfile::GLOVE, 400, 5, 1);
+        let scan = LinearScan::new(&data);
+        for q in queries.iter() {
+            assert_eq!(scan.knn(q, 7), knn_exact(&data, q, 7));
+        }
+    }
+
+    #[test]
+    fn disk_scan_matches_memory_scan() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 300, 3, 2);
+        let dir = std::env::temp_dir().join("hd_baselines_linear");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("scan_{}", std::process::id()));
+        // One page of cache: a sequential scan then reads each page exactly
+        // once (with zero cache every *vector* fetch would be physical).
+        let disk = DiskLinearScan::build(&data, &path, 1).unwrap();
+        let mem = LinearScan::new(&data);
+        for q in queries.iter() {
+            assert_eq!(disk.knn(q, 5).unwrap(), mem.knn(q, 5));
+        }
+        disk.heap().pool().reset_stats();
+        disk.knn(queries.get(0), 5).unwrap();
+        let pages = disk.heap().pool().num_pages();
+        assert_eq!(disk.heap().pool().stats().physical_reads, pages);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,91 @@
+//! Locality-sensitive hashing baselines (paper §2.2.4) and shared plumbing:
+//! Gaussian (2-stable) projections and order-preserving scalar key encoding
+//! for indexing projections in disk B+-trees.
+
+pub mod c2lsh;
+pub mod e2lsh;
+pub mod qalsh;
+pub mod srs;
+
+use rand::{Rng, SeedableRng};
+
+/// `count` independent `dim`-dimensional N(0,1) projection vectors
+/// (Box–Muller; `rand` alone ships no normal distribution offline).
+pub fn gaussian_projections(dim: usize, count: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sample_normal = move || -> f32 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    };
+    (0..count)
+        .map(|_| (0..dim).map(|_| sample_normal()).collect())
+        .collect()
+}
+
+/// Dot product of a projection vector with a data point.
+#[inline]
+pub fn project(a: &[f32], v: &[f32]) -> f32 {
+    hd_core::distance::dot(a, v)
+}
+
+/// Order-preserving big-endian encoding of a **signed** `f64`: flip the sign
+/// bit for non-negatives, complement for negatives — the classic trick that
+/// makes IEEE-754 totally ordered under byte comparison.
+pub fn encode_f64_key(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let flipped = if bits & 0x8000_0000_0000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000_0000_0000
+    };
+    flipped.to_be_bytes()
+}
+
+/// Inverse of [`encode_f64_key`].
+pub fn decode_f64_key(bytes: &[u8]) -> f64 {
+    let flipped = u64::from_be_bytes(bytes[..8].try_into().expect("8-byte key"));
+    let bits = if flipped & 0x8000_0000_0000_0000 != 0 {
+        flipped & !0x8000_0000_0000_0000
+    } else {
+        !flipped
+    };
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections_look_standard_normal() {
+        let projs = gaussian_projections(1000, 4, 7);
+        for p in &projs {
+            let mean: f64 = p.iter().map(|&x| x as f64).sum::<f64>() / p.len() as f64;
+            let var: f64 =
+                p.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / p.len() as f64;
+            assert!(mean.abs() < 0.15, "mean {mean} too far from 0");
+            assert!((var - 1.0).abs() < 0.25, "variance {var} too far from 1");
+        }
+    }
+
+    #[test]
+    fn f64_key_ordering_with_negatives() {
+        let vals = [-1e9, -3.5, -0.0, 0.0, 1e-10, 2.5, 7e12];
+        for w in vals.windows(2) {
+            assert!(
+                encode_f64_key(w[0]) <= encode_f64_key(w[1]),
+                "{} !<= {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn f64_key_roundtrip() {
+        for v in [-123.456, 0.0, 98765.4321, -1e-300] {
+            assert_eq!(decode_f64_key(&encode_f64_key(v)), v);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Vector-quantization baselines: product quantization (PQ, Jégou et al.,
+//! PAMI 2011) and optimized product quantization (OPQ, Ge et al., CVPR 2013)
+//! — the paper's in-memory quantization comparator (§2.2.5, OPQ in §5).
+
+pub mod opq;
+pub mod pq;
+
+pub use opq::{Opq, OpqParams};
+pub use pq::{Pq, PqParams};

@@ -1,0 +1,296 @@
+//! VA-file (Weber, Schek, Blott — VLDB 1998): the paper's §2.2.1 exemplar of
+//! "compress the data and perform the unavoidable linear scan faster".
+//!
+//! Every dimension is quantized to `b` bits, producing a *vector
+//! approximation* of `ν·b/8` bytes per object. A kNN query scans the (small)
+//! approximation file computing, per object, a **lower bound** on its true
+//! distance from the cell geometry; only objects whose lower bound beats the
+//! current k-th **upper bound** are refined by fetching the exact vector —
+//! the two-phase scan that made VA-files the standard against which early
+//! high-dimensional indexes were judged. Exact by construction.
+
+use hd_core::dataset::Dataset;
+use hd_core::distance::l2_sq;
+use hd_core::topk::{Neighbor, TopK};
+use hd_storage::{IoSnapshot, VectorHeap};
+use std::io;
+use std::path::Path;
+
+/// Parameters: `bits` per dimension (the classic choice is 4–8) and the
+/// per-axis domain used for grid quantization.
+#[derive(Debug, Clone, Copy)]
+pub struct VaFileParams {
+    pub bits: u32,
+    pub domain: (f32, f32),
+    pub cache_pages: usize,
+}
+
+impl Default for VaFileParams {
+    fn default() -> Self {
+        Self {
+            bits: 8,
+            domain: (0.0, 255.0),
+            cache_pages: 0,
+        }
+    }
+}
+
+/// The VA-file: quantized approximations in memory (they are the compressed
+/// scan target; ν·b bits per object), exact vectors on disk.
+pub struct VaFile {
+    params: VaFileParams,
+    dim: usize,
+    cells: u32,
+    /// n × dim cell indices (u8 ⇒ bits ≤ 8).
+    approx: Vec<u8>,
+    /// Cell boundary values (shared across dimensions; uniform grid).
+    boundaries: Vec<f32>,
+    heap: VectorHeap,
+    n: usize,
+}
+
+impl std::fmt::Debug for VaFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VaFile")
+            .field("n", &self.n)
+            .field("bits", &self.params.bits)
+            .finish()
+    }
+}
+
+impl VaFile {
+    pub fn build(data: &Dataset, params: VaFileParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!((1..=8).contains(&params.bits), "bits must be in 1..=8");
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let (lo, hi) = params.domain;
+        assert!(hi > lo, "degenerate domain");
+        let cells = 1u32 << params.bits;
+        let dim = data.dim();
+
+        // Uniform grid boundaries: boundaries[c] .. boundaries[c+1] is cell c.
+        let step = (hi - lo) / cells as f32;
+        let boundaries: Vec<f32> = (0..=cells).map(|c| lo + c as f32 * step).collect();
+
+        let quantize = |v: f32| -> u8 {
+            let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            (((t * cells as f32) as u32).min(cells - 1)) as u8
+        };
+        let mut approx = Vec::with_capacity(data.len() * dim);
+        for p in data.iter() {
+            approx.extend(p.iter().map(|&v| quantize(v)));
+        }
+
+        let mut heap = VectorHeap::create(dir.join("vafile.heap"), dim, params.cache_pages)?;
+        for p in data.iter() {
+            heap.append(p)?;
+        }
+        heap.pool().reset_stats();
+        Ok(Self {
+            params,
+            dim,
+            cells,
+            approx,
+            boundaries,
+            heap,
+            n: data.len(),
+        })
+    }
+
+    /// Squared lower bound on `d(query, o)` from o's approximation cell:
+    /// per axis, the distance from the query coordinate to the nearest edge
+    /// of the cell (zero if the query lies inside the slab).
+    fn lower_bound_sq(&self, query: &[f32], o: usize) -> f32 {
+        let cells = &self.approx[o * self.dim..(o + 1) * self.dim];
+        let mut lb = 0.0f32;
+        for (d, &c) in cells.iter().enumerate() {
+            let (clo, chi) = (self.boundaries[c as usize], self.boundaries[c as usize + 1]);
+            let q = query[d];
+            let gap = if q < clo {
+                clo - q
+            } else if q > chi {
+                q - chi
+            } else {
+                0.0
+            };
+            lb += gap * gap;
+        }
+        lb
+    }
+
+    /// Exact kNN by the two-phase VA scan.
+    pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
+        assert_eq!(query.len(), self.dim, "dimensionality mismatch");
+        let k = k.min(self.n).max(1);
+
+        // Phase 1: scan approximations, collect (lower bound, id) sorted.
+        let mut bounds: Vec<(f32, u32)> = (0..self.n)
+            .map(|o| (self.lower_bound_sq(query, o), o as u32))
+            .collect();
+        bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        // Phase 2: refine in lower-bound order; stop when the next lower
+        // bound exceeds the current k-th true distance (exactness).
+        let mut tk = TopK::new(k);
+        let mut vbuf = Vec::with_capacity(self.dim);
+        let mut refined = 0usize;
+        for &(lb, id) in &bounds {
+            if tk.len() == k && lb > tk.bound() {
+                break;
+            }
+            self.heap.get_into(id as u64, &mut vbuf)?;
+            tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+            refined += 1;
+        }
+        let _ = refined;
+        let mut out = tk.into_sorted();
+        for nb in &mut out {
+            nb.dist = nb.dist.sqrt();
+        }
+        Ok(out)
+    }
+
+    /// How many exact vectors a query fetches (phase-2 volume) — the
+    /// quantity the VA-file exists to minimize.
+    pub fn refinement_count(&self, query: &[f32], k: usize) -> io::Result<usize> {
+        let k = k.min(self.n).max(1);
+        let mut bounds: Vec<(f32, u32)> = (0..self.n)
+            .map(|o| (self.lower_bound_sq(query, o), o as u32))
+            .collect();
+        bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut tk = TopK::new(k);
+        let mut vbuf = Vec::with_capacity(self.dim);
+        let mut refined = 0usize;
+        for &(lb, id) in &bounds {
+            if tk.len() == k && lb > tk.bound() {
+                break;
+            }
+            self.heap.get_into(id as u64, &mut vbuf)?;
+            tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+            refined += 1;
+        }
+        Ok(refined)
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The compressed scan target: n · ν bytes at 8 bits (less at fewer).
+    pub fn memory_bytes(&self) -> usize {
+        self.approx.capacity() + self.boundaries.capacity() * 4
+    }
+
+    pub fn io_stats(&self) -> IoSnapshot {
+        self.heap.pool().stats()
+    }
+
+    pub fn reset_io_stats(&self) {
+        self.heap.pool().reset_stats();
+    }
+
+    pub fn cells(&self) -> u32 {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hd_core::dataset::{generate, DatasetProfile};
+    use hd_core::ground_truth::knn_exact;
+    use std::path::PathBuf;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("hd_vafile_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn exactness_against_linear_scan() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 1500, 10, 81);
+        let dir = test_dir("exact");
+        let va = VaFile::build(&data, VaFileParams::default(), &dir).unwrap();
+        for q in queries.iter() {
+            let got = va.knn(q, 10).unwrap();
+            let want = knn_exact(&data, q, 10);
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                "VA-file must be exact"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn lower_bounds_are_sound() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 500, 5, 82);
+        let dir = test_dir("bounds");
+        let va = VaFile::build(&data, VaFileParams::default(), &dir).unwrap();
+        for q in queries.iter() {
+            for o in 0..data.len() {
+                let lb = va.lower_bound_sq(q, o);
+                let actual = l2_sq(q, data.get(o));
+                assert!(lb <= actual + 1e-2, "lb {lb} > true {actual}");
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn refinement_is_sublinear_on_clustered_data() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 4000, 5, 83);
+        let dir = test_dir("refine");
+        let va = VaFile::build(&data, VaFileParams::default(), &dir).unwrap();
+        let avg: f64 = queries
+            .iter()
+            .map(|q| va.refinement_count(q, 10).unwrap() as f64)
+            .sum::<f64>()
+            / queries.len() as f64;
+        assert!(
+            avg < data.len() as f64 * 0.5,
+            "VA refinement should prune most objects: {avg} of {}",
+            data.len()
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fewer_bits_coarser_bounds_more_refinements() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 2000, 3, 84);
+        let dir = test_dir("bits");
+        let fine = VaFile::build(
+            &data,
+            VaFileParams {
+                bits: 8,
+                ..Default::default()
+            },
+            dir.join("fine"),
+        )
+        .unwrap();
+        let coarse = VaFile::build(
+            &data,
+            VaFileParams {
+                bits: 2,
+                ..Default::default()
+            },
+            dir.join("coarse"),
+        )
+        .unwrap();
+        let q = queries.get(0);
+        let rf = fine.refinement_count(q, 10).unwrap();
+        let rc = coarse.refinement_count(q, 10).unwrap();
+        assert!(rc >= rf, "coarser quantization must refine at least as much ({rc} vs {rf})");
+        assert!(coarse.memory_bytes() <= fine.memory_bytes());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

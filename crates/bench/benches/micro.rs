@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks backing the design-choice claims:
+//!
+//! * Hilbert encode/decode cost (the O(ω·η) term of §3.5.1),
+//! * distance kernel throughput,
+//! * triangular vs Ptolemaic filter kernels (the ~m/2× CPU gap behind the
+//!   1.5–2× query-time difference of §5.2.5),
+//! * B+-tree point lookups and cursor scans.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hd_core::dataset::{generate, DatasetProfile};
+use hd_hilbert::HilbertCurve;
+use hd_index::filters::{ptolemaic_lb, triangular_lb};
+use hd_index::reference::select;
+use hd_index::RefSelection;
+use std::hint::black_box;
+
+fn bench_hilbert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hilbert");
+    g.sample_size(30);
+    for (dims, order) in [(16usize, 8u32), (24, 32), (64, 32)] {
+        let curve = HilbertCurve::new(dims, order);
+        let cells = if order == 32 { u32::MAX as u64 } else { (1 << order) - 1 };
+        let point: Vec<u64> = (0..dims).map(|i| (i as u64 * 7919) % (cells + 1)).collect();
+        g.bench_function(format!("encode_{dims}d_w{order}"), |b| {
+            b.iter(|| curve.encode(black_box(&point)))
+        });
+        let key = curve.encode(&point);
+        g.bench_function(format!("decode_{dims}d_w{order}"), |b| {
+            b.iter(|| curve.decode(black_box(&key)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance");
+    g.sample_size(50);
+    for dim in [128usize, 512, 1369] {
+        let a: Vec<f32> = (0..dim).map(|i| i as f32 * 0.31).collect();
+        let b_: Vec<f32> = (0..dim).map(|i| (dim - i) as f32 * 0.17).collect();
+        g.bench_function(format!("l2_sq_{dim}d"), |b| {
+            b.iter(|| hd_core::distance::l2_sq(black_box(&a), black_box(&b_)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    // m = 10 reference objects, the paper's default.
+    let (data, _) = generate(&DatasetProfile::SIFT, 2000, 1, 3);
+    let refs = select(&data, 10, RefSelection::Sss { f: 0.3 }, 1);
+    let mut qd = Vec::new();
+    let mut od = Vec::new();
+    refs.distances_to(data.get(0), &mut qd);
+    refs.distances_to(data.get(999), &mut od);
+
+    let mut g = c.benchmark_group("filters_m10");
+    g.sample_size(50);
+    g.bench_function("triangular_lb", |b| {
+        b.iter(|| triangular_lb(black_box(&qd), black_box(&od)))
+    });
+    g.bench_function("ptolemaic_lb", |b| {
+        b.iter(|| ptolemaic_lb(black_box(&qd), black_box(&od), black_box(&refs)))
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    use hd_btree::BTree;
+    use hd_storage::{BufferPool, Pager};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join("hd_bench_btree");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("bench_{}", std::process::id()));
+    let pager = Pager::create(&path).unwrap();
+    let pool = Arc::new(BufferPool::new(pager, 4096));
+    let mut tree = BTree::create(Arc::clone(&pool), 8, 8).unwrap();
+    tree.bulk_load(
+        (0..100_000u64).map(|i| (i.to_be_bytes().to_vec(), i.to_le_bytes().to_vec())),
+        1.0,
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("btree_100k");
+    g.sample_size(50);
+    g.bench_function("point_lookup_cached", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 2654435761 + 1) % 100_000;
+            tree.get(black_box(&i.to_be_bytes())).unwrap()
+        })
+    });
+    g.bench_function("scan_256_from_seek", |b| {
+        b.iter_batched(
+            || tree.seek(&50_000u64.to_be_bytes()).unwrap(),
+            |mut cur| {
+                let mut sum = 0u64;
+                for _ in 0..256 {
+                    if !cur.valid() {
+                        break;
+                    }
+                    sum += cur.value()[0] as u64;
+                    cur.advance().unwrap();
+                }
+                sum
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+    std::fs::remove_file(path).ok();
+}
+
+criterion_group!(benches, bench_hilbert, bench_distance, bench_filters, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Figure 13 (Appendix C, §5.2.7): MAP@k and query time as k varies over
+//! {1, 5, 10, 50, 100}.
+//!
+//! Paper shape: HD-Index and Multicurves hold near-constant query time and
+//! MAP across k (they always fetch α ≫ k candidates and refine); the LSH
+//! family's time grows with k and its MAP moves erratically; iDistance is
+//! exact at every k but slowest.
+
+use hd_bench::methods::{
+    run_c2lsh, run_hd_index_default, run_idistance, run_multicurves, run_qalsh, run_srs, Workload,
+};
+use hd_bench::{table, BenchConfig, MethodOutcome};
+use hd_core::dataset::DatasetProfile;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let widths = [10usize, 12, 5, 8, 12];
+
+    for (name, profile, n, nq, exact) in [
+        ("SIFT10K", DatasetProfile::SIFT, 10_000, 50, true),
+        ("Audio", DatasetProfile::AUDIO, 20_000, 50, true),
+        ("SIFT100K", DatasetProfile::SIFT, 100_000, 30, false),
+    ] {
+        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        table::header(
+            &format!("Fig. 13 [{name}]: MAP@k and query time vs k"),
+            &["dataset", "method", "k", "MAP@k", "query"],
+            &widths,
+        );
+        for k in [1usize, 5, 10, 50, 100] {
+            let truth = w.truth(k);
+            let dir = cfg.scratch(&format!("fig13_{name}_{k}"));
+            type Runner = fn(
+                &Workload,
+                usize,
+                &[Vec<hd_core::Neighbor>],
+                &std::path::Path,
+            ) -> MethodOutcome;
+            let mut runners: Vec<(&str, Runner)> = vec![
+                ("HD-Index", run_hd_index_default as Runner),
+                ("Multicurves", run_multicurves as Runner),
+                ("C2LSH", run_c2lsh as Runner),
+                ("QALSH", run_qalsh as Runner),
+                ("SRS", run_srs as Runner),
+            ];
+            if exact {
+                runners.push(("iDistance", run_idistance as Runner));
+            }
+            for (label, runner) in runners {
+                match runner(&w, k, &truth, &dir) {
+                    MethodOutcome::Done(r) => table::row(
+                        &[
+                            name.into(),
+                            label.into(),
+                            k.to_string(),
+                            table::f3(r.map),
+                            table::ms(r.avg_query_ms),
+                        ],
+                        &widths,
+                    ),
+                    MethodOutcome::NotPossible(m, _) => table::row(
+                        &[name.into(), m.into(), k.to_string(), "NP".into(), "—".into()],
+                        &widths,
+                    ),
+                }
+            }
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+    println!("\nPaper shape: HD-Index/Multicurves flat in k (α ≫ k); LSH times grow with k.");
+}

@@ -1,0 +1,89 @@
+//! Figure 6 (§5.2.6): tuning the filter parameters α and γ.
+//!
+//! (a–f): α ∈ {2048, 4096, 8192, 16384} at α/γ ∈ {2, 4, 8} — query time
+//! scales linearly with α, MAP@10 saturates at α = 4096 (8192 for large
+//! datasets). (g, h): γ ∈ {128 … 4096} at α = 4096 — MAP saturates at
+//! γ = 1024 (α/γ = 4 recommended).
+
+use hd_bench::methods::Workload;
+use hd_bench::{table, BenchConfig, MethodOutcome};
+use hd_core::dataset::DatasetProfile;
+use hd_index::{HdIndexParams, QueryParams};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let k = 10;
+    let widths = [10usize, 7, 6, 12, 8];
+
+    let workloads: Vec<(&str, DatasetProfile, usize, usize)> = vec![
+        ("SIFT10K", DatasetProfile::SIFT, 10_000, 100),
+        ("Audio", DatasetProfile::AUDIO, 20_000, 100),
+        ("SUN", DatasetProfile::SUN, 8_000, 50),
+        ("SIFT100K", DatasetProfile::SIFT, 100_000, 50),
+        ("Yorck", DatasetProfile::YORCK, 50_000, 50),
+    ];
+
+    for (name, profile, n, nq) in workloads {
+        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        let truth = w.truth(k);
+        let params = HdIndexParams::for_profile(&w.profile);
+
+        table::header(
+            &format!("Fig. 6(a-f) [{name}]: varying α at α/γ ∈ {{2,4,8}}"),
+            &["dataset", "α", "α/γ", "query", "MAP@10"],
+            &widths,
+        );
+        for ratio in [2usize, 4, 8] {
+            for alpha in [2048usize, 4096, 8192, 16384] {
+                let alpha = alpha.min(w.data.len());
+                let gamma = (alpha / ratio).max(k);
+                let dir = cfg.scratch(&format!("fig6a_{name}_{alpha}_{ratio}"));
+                let qp = QueryParams::triangular(alpha, gamma, k);
+                if let MethodOutcome::Done(r) =
+                    hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp)
+                {
+                    table::row(
+                        &[
+                            name.into(),
+                            alpha.to_string(),
+                            ratio.to_string(),
+                            table::ms(r.avg_query_ms),
+                            table::f3(r.map),
+                        ],
+                        &widths,
+                    );
+                }
+                std::fs::remove_dir_all(dir).ok();
+            }
+        }
+
+        table::header(
+            &format!("Fig. 6(g,h) [{name}]: varying γ at α = 4096"),
+            &["dataset", "γ", "", "query", "MAP@10"],
+            &widths,
+        );
+        let alpha = 4096.min(w.data.len());
+        for gamma in [128usize, 256, 512, 1024, 2048, 4096] {
+            let gamma = gamma.min(alpha);
+            let dir = cfg.scratch(&format!("fig6g_{name}_{gamma}"));
+            let qp = QueryParams::triangular(alpha, gamma, k);
+            if let MethodOutcome::Done(r) =
+                hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp)
+            {
+                table::row(
+                    &[
+                        name.into(),
+                        gamma.to_string(),
+                        "".into(),
+                        table::ms(r.avg_query_ms),
+                        table::f3(r.map),
+                    ],
+                    &widths,
+                );
+            }
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+    println!("\nPaper shape: time linear in α and γ; MAP saturates at α = 4096 (8192 for");
+    println!("the larger sets) and γ = 1024, giving the recommended α/γ = 4.");
+}

@@ -1,0 +1,72 @@
+//! Figure 9: qualitative classification of methods into the
+//! Quality / Memory-footprint / Efficiency (Q/M/E) triangle, derived from a
+//! measured run rather than asserted.
+//!
+//! Thresholds (scale-sensitive; §5.6 defines footprint as *external memory
+//! storing the index plus main memory while querying*):
+//! **Q** — MAP within 60% of the best approximate MAP; **M** — total
+//! footprint (index on disk + query-resident RAM) at most 4× the raw data;
+//! **E** — query time within 25× of the fastest (in-memory methods enjoy
+//! what §5.4.2 calls an "unfair advantage", so the envelope is generous).
+//!
+//! Paper shape (large-data regime): HD-Index = QME; OPQ/HNSW/Multicurves
+//! fail M; C2LSH/SRS fail Q as n grows; QALSH is quality-limited at our
+//! capped hash-function budget (the paper's QALSH = QM).
+
+use hd_bench::methods::{run_lineup, Workload};
+use hd_bench::{table, BenchConfig};
+use hd_core::dataset::DatasetProfile;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let k = 100;
+    let w = Workload::new("SIFT", DatasetProfile::SIFT, cfg.n(100_000), cfg.nq(40).min(100), cfg.seed);
+    let raw_bytes = w.data.len() * w.data.dim() * 4;
+    let truth = w.truth(k);
+    let dir = cfg.scratch("fig9");
+    let outcomes = run_lineup(&w, k, &truth, &dir, false);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let results: Vec<&hd_bench::MethodResult> =
+        outcomes.iter().filter_map(|o| o.result()).collect();
+    let best_map = results.iter().map(|r| r.map).fold(0.0, f64::max);
+    let best_time = results
+        .iter()
+        .map(|r| r.avg_query_ms)
+        .fold(f64::INFINITY, f64::min);
+
+    let widths = [12usize, 8, 12, 12, 12, 8];
+    table::header(
+        &format!(
+            "Fig. 9: Q/M/E classification (n={}, raw data {})",
+            w.data.len(),
+            hd_core::util::fmt_bytes(raw_bytes)
+        ),
+        &["method", "MAP@100", "query", "footprint", "qry RAM", "class"],
+        &widths,
+    );
+    for r in &results {
+        let footprint = r.index_disk_bytes as usize + r.query_mem_bytes;
+        let q = r.map >= 0.6 * best_map;
+        let e = r.avg_query_ms <= 25.0 * best_time;
+        let m = footprint <= 4 * raw_bytes;
+        let class: String = [("Q", q), ("M", m), ("E", e)]
+            .iter()
+            .filter(|&&(_, on)| on)
+            .map(|&(c, _)| c)
+            .collect();
+        table::row(
+            &[
+                r.method.into(),
+                table::f3(r.map),
+                table::ms(r.avg_query_ms),
+                hd_core::util::fmt_bytes(footprint),
+                hd_core::util::fmt_bytes(r.query_mem_bytes),
+                if class.is_empty() { "—".into() } else { class },
+            ],
+            &widths,
+        );
+    }
+    println!("\nPaper's Fig. 9 placement: HD-Index QME; Multicurves/HNSW/OPQ QE;");
+    println!("QALSH QM; SRS M(E); C2LSH E. The Q and E splits sharpen as n grows.");
+}

@@ -1,0 +1,95 @@
+//! §5.4.4 (billion-scale feasibility): HD-Index is the only method that ran
+//! on SIFT1B — ~10 days to build, 1.2 TB of index, 4.8 s/query at 30 MB RAM.
+//!
+//! We cannot host a billion points on a laptop, so this experiment measures
+//! HD-Index at a geometric ladder of sizes, verifies the paper's linearity
+//! claims (§3.5: construction time and space are O(n·ν); §4.4: query cost is
+//! O(τ(log n + α/Ω + γ)) — i.e. *nearly flat* in n), and extrapolates the
+//! fitted per-point costs to 10⁹ points for comparison with the reported
+//! SIFT1B numbers.
+
+use hd_bench::methods::Workload;
+use hd_bench::{table, BenchConfig, MethodOutcome};
+use hd_core::dataset::DatasetProfile;
+use hd_core::util::fmt_bytes;
+use hd_index::{HdIndexParams, QueryParams};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let k = 100;
+    let widths = [10usize, 12, 12, 12, 10, 10];
+    let sizes: Vec<usize> = [12_500usize, 25_000, 50_000, 100_000]
+        .iter()
+        .map(|&n| cfg.n(n))
+        .collect();
+
+    table::header(
+        "§5.4.4: HD-Index scaling ladder (SIFT profile)",
+        &["n", "build", "index", "query", "MAP@100", "IO/qry"],
+        &widths,
+    );
+
+    let mut rows: Vec<(f64, f64, f64, f64, f64)> = Vec::new(); // n, build_ms, bytes, query_ms, io
+    for &n in &sizes {
+        let w = Workload::new("scal", DatasetProfile::SIFT, n, cfg.nq(30).min(50), cfg.seed);
+        let truth = w.truth(k);
+        let dir = cfg.scratch(&format!("scaling_{n}"));
+        let params = HdIndexParams::for_profile(&w.profile);
+        let qp = QueryParams::triangular(8192.min(n), 2048.min(n), k);
+        if let MethodOutcome::Done(r) = hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp) {
+            table::row(
+                &[
+                    n.to_string(),
+                    table::ms(r.build_ms),
+                    fmt_bytes(r.index_disk_bytes as usize),
+                    table::ms(r.avg_query_ms),
+                    table::f3(r.map),
+                    format!("{:.0}", r.avg_physical_reads),
+                ],
+                &widths,
+            );
+            rows.push((
+                n as f64,
+                r.build_ms,
+                r.index_disk_bytes as f64,
+                r.avg_query_ms,
+                r.avg_physical_reads,
+            ));
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    if rows.len() >= 2 {
+        // Per-point slopes from the largest run (amortizing constants) and
+        // growth ratios across the ladder.
+        let last = rows.last().unwrap();
+        let first = &rows[0];
+        let build_per_point_ms = last.1 / last.0;
+        let bytes_per_point = last.2 / last.0;
+        let n_ratio = last.0 / first.0;
+        let build_ratio = last.1 / first.1;
+        let query_ratio = last.3 / first.3;
+
+        println!("\nLinearity check over a {n_ratio:.0}x size ladder:");
+        println!(
+            "  build time grew {build_ratio:.1}x (O(n·ν) predicts {n_ratio:.0}x)  |  query time grew {query_ratio:.2}x (cost model predicts ~log-factor growth)"
+        );
+
+        let billion = 1e9;
+        let proj_build_days = build_per_point_ms * billion / 1000.0 / 86_400.0;
+        let proj_bytes = bytes_per_point * billion;
+        println!("\nExtrapolation to n = 10⁹ (SIFT1B):");
+        println!(
+            "  projected build: {proj_build_days:.1} machine-days   (paper measured ~10 days on a 2013 i7 + HDD)"
+        );
+        println!(
+            "  projected index: {}            (paper measured ~1.2 TB)",
+            fmt_bytes(proj_bytes as usize)
+        );
+        println!(
+            "  query time: ~flat in n — paper measured 4.8 s/query dominated by HDD seeks;\n\
+             \x20 our per-query page reads ({:.0}) × ~10 ms/seek on an HDD ≈ the same order.",
+            rows.last().unwrap().4
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Table 3: RDB-tree leaf orders Ω per dataset at page size B = 4 KB,
+//! computed from Eq. (4), cross-checked against the leaf capacity of an
+//! actually-built RDB-tree.
+
+use hd_bench::{table, BenchConfig};
+use hd_core::dataset::{generate, DatasetProfile};
+use hd_index::config::rdb_leaf_order_eq4;
+use hd_index::{HdIndex, HdIndexParams};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let widths = [10usize, 6, 6, 10, 6, 10, 10, 10];
+    table::header(
+        "Table 3: RDB-tree leaf order (page size = 4 KB)",
+        &["dataset", "ν", "ω", "η(=ν/τ)", "m", "Ω (Eq.4)", "Ω (paper)", "Ω (built)"],
+        &widths,
+    );
+
+    // (profile, τ for Table 3's η column, paper Ω). Table 3 lists SUN with
+    // η = 64 (τ = 8), although §5.2.4 recommends τ = 16 for querying.
+    let rows: [(&DatasetProfile, usize, usize); 6] = [
+        (&DatasetProfile::SIFT, 8, 63),
+        (&DatasetProfile::YORCK, 8, 36),
+        (&DatasetProfile::SUN, 8, 13),
+        (&DatasetProfile::AUDIO, 8, 28),
+        (&DatasetProfile::ENRON, 37, 18),
+        (&DatasetProfile::GLOVE, 10, 40),
+    ];
+
+    for (p, tau, paper_omega) in rows {
+        let eta = p.dim / tau;
+        let m = 10;
+        let eq4 = rdb_leaf_order_eq4(eta, p.hilbert_order, m, 4096);
+
+        // Build a miniature index with exactly these parameters and read the
+        // real leaf capacity back from the tree.
+        let n = ((500.0 * cfg.scale) as usize).max(100);
+        let (data, _) = generate(p, n, 1, cfg.seed);
+        let params = HdIndexParams {
+            tau,
+            hilbert_order: p.hilbert_order,
+            num_references: m,
+            domain: (p.lo, p.hi),
+            ..HdIndexParams::for_profile(p)
+        };
+        let dir = cfg.scratch(&format!("table3_{}", p.name));
+        let built = match HdIndex::build(&data, &params, &dir) {
+            Ok(idx) => idx.leaf_order(0).to_string(),
+            Err(e) => format!("err: {e}"),
+        };
+        std::fs::remove_dir_all(&dir).ok();
+
+        table::row(
+            &[
+                p.name.into(),
+                p.dim.to_string(),
+                p.hilbert_order.to_string(),
+                eta.to_string(),
+                m.to_string(),
+                eq4.to_string(),
+                paper_omega.to_string(),
+                built,
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nNote: Enron and Glove rows of the paper's Table 3 (Ω = 18, 40) do not\n\
+         follow Eq. (4) with the row's own parameters (the formula gives 33, 46);\n\
+         all other rows match exactly. Our built trees differ by ≤1 entry because\n\
+         the on-page layout spends 2 extra header bytes and stores the object id\n\
+         inside the B+-tree key."
+    );
+}

@@ -1,0 +1,112 @@
+//! Command-line configuration shared by all experiment binaries.
+
+/// Scaling knobs parsed from `argv`: `--scale F` multiplies every dataset
+/// size, `--queries N` overrides the query-set size, `--seed S` reseeds the
+/// generators. Unknown flags are ignored so binaries can add their own.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    pub scale: f64,
+    pub queries: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            queries: None,
+            seed: 42,
+        }
+    }
+}
+
+impl BenchConfig {
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_slice(&args)
+    }
+
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut cfg = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.scale = v;
+                        i += 1;
+                    }
+                }
+                "--queries" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.queries = Some(v);
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cfg.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// Applies the scale factor with a floor so indexes stay non-degenerate.
+    pub fn n(&self, base: usize) -> usize {
+        ((base as f64 * self.scale) as usize).max(200)
+    }
+
+    /// Query-set size: explicit override, else scaled with a floor of 20.
+    pub fn nq(&self, base: usize) -> usize {
+        self.queries
+            .unwrap_or(((base as f64 * self.scale) as usize).max(20))
+    }
+
+    /// A scratch directory for this experiment's index files.
+    pub fn scratch(&self, experiment: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("hd_bench")
+            .join(format!("{experiment}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cfg = BenchConfig::from_slice(&s(&["prog", "--scale", "0.5", "--seed", "7"]));
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.queries, None);
+    }
+
+    #[test]
+    fn scaling_with_floor() {
+        let cfg = BenchConfig {
+            scale: 0.001,
+            ..Default::default()
+        };
+        assert_eq!(cfg.n(10_000), 200);
+        let cfg = BenchConfig::default();
+        assert_eq!(cfg.n(10_000), 10_000);
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let cfg = BenchConfig::from_slice(&s(&["prog", "--wat", "--scale", "2"]));
+        assert_eq!(cfg.scale, 2.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the HD-Index
+//! evaluation (paper §5). See DESIGN.md §4 for the experiment-to-binary map.
+//!
+//! Each experiment is a binary under `src/bin/`; all share:
+//!
+//! * [`config`] — command-line scaling (`--scale`, `--queries`, `--seed`) so
+//!   every experiment runs at laptop scale by default and can be dialed up;
+//! * [`methods`] — one standardized runner per method (build, query
+//!   workload, score against exact ground truth, account memory/disk/IO);
+//! * [`table`] — fixed-width table printing in the shape of the paper's
+//!   figures.
+
+pub mod config;
+pub mod methods;
+pub mod table;
+
+pub use config::BenchConfig;
+pub use methods::{MethodOutcome, MethodResult, Workload};

@@ -1,0 +1,116 @@
+//! Euclidean distance kernels.
+//!
+//! All index structures in the workspace compare points under the L2 norm
+//! (the paper's distance function, §2.1). Squared distances are used for
+//! comparisons wherever possible — `sqrt` is monotone, so rankings are
+//! unaffected — and converted to true distances only at API boundaries.
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// The four-way unrolled accumulation gives LLVM a clean auto-vectorization
+/// target without `unsafe` or platform intrinsics.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let n = a.len().min(b.len());
+    let (chunks, rem) = (n / 4, n % 4);
+    let mut acc = [0.0f32; 4];
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            let d = a[base + lane] - b[base + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in (n - rem)..n {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean (L2) distance between two equal-length vectors.
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    l2_sq(a, b).sqrt()
+}
+
+/// Squared L2 norm of a vector.
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Inner (dot) product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let mut s = 0.0f32;
+    for i in 0..a.len().min(b.len()) {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_sq_matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..37).map(|i| (36 - i) as f32 * 0.25).collect();
+        let naive: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert!((l2_sq(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn l2_zero_for_identical() {
+        let a = vec![1.5f32; 128];
+        assert_eq!(l2(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l2_known_value() {
+        // 3-4-5 triangle.
+        assert!((l2(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_symmetric() {
+        let a = [1.0f32, -2.0, 3.5, 0.0, 7.25];
+        let b = [0.5f32, 2.0, -3.5, 1.0, -7.25];
+        assert_eq!(l2_sq(&a, &b), l2_sq(&b, &a));
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        // Sanity check that l2 is a metric on a few points.
+        let pts = [
+            vec![0.0f32, 1.0, 2.0],
+            vec![5.0f32, -1.0, 0.5],
+            vec![-3.0f32, 2.0, 2.0],
+        ];
+        for a in &pts {
+            for b in &pts {
+                for c in &pts {
+                    assert!(l2(a, c) <= l2(a, b) + l2(b, c) + 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Core substrates for the HD-Index reproduction.
+//!
+//! This crate contains everything that is *not* an index structure but that
+//! every index structure in the workspace depends on:
+//!
+//! * [`dataset`] — flat `f32` vector datasets, synthetic generators emulating
+//!   the paper's corpora (Table 4), and `fvecs`/`bvecs`/`ivecs` readers.
+//! * [`distance`] — Euclidean distance kernels.
+//! * [`topk`] — bounded max-heaps for k-nearest-neighbor accumulation.
+//! * [`metrics`] — approximation ratio (Def. 1), AP@k (Def. 2), MAP@k
+//!   (Def. 3), and recall.
+//! * [`ground_truth`] — multi-threaded exact kNN used as the gold standard.
+//! * [`partition`] — dimension partitioning schemes (§3.1, §5.2.1).
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding (iDistance, PQ).
+//! * [`linalg`] — dense matrices, Jacobi eigendecomposition, SVD, and the
+//!   orthogonal Procrustes solver used by OPQ.
+//! * [`util`] — small numeric helpers shared by the benchmark harness.
+
+pub mod dataset;
+pub mod distance;
+pub mod ground_truth;
+pub mod kmeans;
+pub mod linalg;
+pub mod metrics;
+pub mod partition;
+pub mod topk;
+pub mod util;
+
+pub use dataset::{Dataset, DatasetProfile};
+pub use distance::{l2, l2_sq};
+pub use ground_truth::ground_truth_knn;
+pub use metrics::{approximation_ratio, average_precision, mean_average_precision, recall_at_k};
+pub use topk::{Neighbor, TopK};
+
+/// Identifier of a database object (its position in the [`Dataset`]).
+///
+/// `u32` bounds datasets at ~4.3 billion objects, which covers the paper's
+/// largest corpus (SIFT1B, ~1e9 objects) with headroom while halving the
+/// footprint of candidate lists relative to `usize`.
+pub type ObjectId = u32;

@@ -1,0 +1,226 @@
+//! Quality metrics for approximate kNN result sets (paper §2.1).
+//!
+//! The paper's central methodological argument is that the *approximation
+//! ratio* (Def. 1) stops discriminating between methods in high dimensions,
+//! while *mean average precision* (Def. 3) keeps rewarding correct ranking.
+//! Both are implemented here exactly as defined, plus recall as a common
+//! auxiliary metric.
+
+use crate::topk::Neighbor;
+
+/// Approximation ratio `c` (Definition 1):
+/// `c = (1/k) Σ_i d(q, o'_i) / d(q, o_i)`.
+///
+/// `truth` and `approx` must be sorted nearest-first. Pairs where the true
+/// distance is zero are counted as ratio 1 when the approximate distance is
+/// also zero and skipped otherwise (a 0-distance true neighbor that the
+/// approximate search missed would otherwise yield an infinite ratio; the
+/// paper's corpora are de-duplicated, §5.1, so this arises only on synthetic
+/// edge cases).
+///
+/// Returns 1.0 for empty inputs. If `approx` is shorter than `truth`, only
+/// the common prefix is scored.
+pub fn approximation_ratio(truth: &[Neighbor], approx: &[Neighbor]) -> f64 {
+    let k = truth.len().min(approx.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut counted = 0usize;
+    for i in 0..k {
+        let t = truth[i].dist as f64;
+        let a = approx[i].dist as f64;
+        if t > 0.0 {
+            sum += a / t;
+            counted += 1;
+        } else if a == 0.0 {
+            sum += 1.0;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Average precision at k (Definition 2):
+/// `AP@k = (1/k) Σ_i [ I(o'_i ∈ T_k) · (j/i) ]`,
+/// where `j` is the number of relevant items among the first `i` returned.
+///
+/// Matches the paper's worked Example 1: truth `{o1,o2,o3}`,
+/// answer `{o4,o3,o2}` gives `(0 + 1/2 + 2/3)/3 ≈ 0.39`.
+pub fn average_precision(truth_ids: &[u32], approx_ids: &[u32]) -> f64 {
+    let k = truth_ids.len();
+    if k == 0 {
+        return 0.0;
+    }
+    let mut relevant_so_far = 0usize;
+    let mut sum = 0.0f64;
+    for (i, id) in approx_ids.iter().take(k).enumerate() {
+        if truth_ids.contains(id) {
+            relevant_so_far += 1;
+            sum += relevant_so_far as f64 / (i + 1) as f64;
+        }
+    }
+    sum / k as f64
+}
+
+/// Mean average precision over a query workload (Definition 3).
+///
+/// `truth` and `approx` hold, per query, the ids of the exact and approximate
+/// k nearest neighbors in rank order.
+pub fn mean_average_precision(truth: &[Vec<u32>], approx: &[Vec<u32>]) -> f64 {
+    assert_eq!(truth.len(), approx.len(), "query count mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = truth
+        .iter()
+        .zip(approx)
+        .map(|(t, a)| average_precision(t, a))
+        .sum();
+    sum / truth.len() as f64
+}
+
+/// Fraction of the true k nearest neighbors present anywhere in the answer.
+pub fn recall_at_k(truth_ids: &[u32], approx_ids: &[u32]) -> f64 {
+    if truth_ids.is_empty() {
+        return 0.0;
+    }
+    let hit = truth_ids
+        .iter()
+        .filter(|id| approx_ids.contains(id))
+        .count();
+    hit as f64 / truth_ids.len() as f64
+}
+
+/// Convenience: extract the id column from a neighbor list.
+pub fn ids(neighbors: &[Neighbor]) -> Vec<u32> {
+    neighbors.iter().map(|n| n.id).collect()
+}
+
+/// Aggregates ratio / MAP / recall over a whole workload of neighbor lists.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySummary {
+    pub map: f64,
+    pub ratio: f64,
+    pub recall: f64,
+}
+
+/// Scores an approximate result set against exact ground truth, producing the
+/// three headline quality numbers the paper reports.
+pub fn score_workload(truth: &[Vec<Neighbor>], approx: &[Vec<Neighbor>]) -> QualitySummary {
+    assert_eq!(truth.len(), approx.len(), "query count mismatch");
+    let q = truth.len().max(1) as f64;
+    let mut map = 0.0;
+    let mut ratio = 0.0;
+    let mut recall = 0.0;
+    for (t, a) in truth.iter().zip(approx) {
+        let t_ids = ids(t);
+        let a_ids = ids(a);
+        map += average_precision(&t_ids, &a_ids);
+        ratio += approximation_ratio(t, a);
+        recall += recall_at_k(&t_ids, &a_ids);
+    }
+    QualitySummary {
+        map: map / q,
+        ratio: ratio / q,
+        recall: recall / q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32, d: f32) -> Neighbor {
+        Neighbor::new(id, d)
+    }
+
+    #[test]
+    fn paper_example_1_first_ordering() {
+        // Truth {o1,o2,o3}; answer A1 = {o4,o3,o2} -> AP = 0.3888…
+        let ap = average_precision(&[1, 2, 3], &[4, 3, 2]);
+        assert!((ap - (0.5 + 2.0 / 3.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_1_second_ordering() {
+        // Answer A2 = {o3,o2,o4} -> AP = (1 + 1 + 0)/3 = 0.6666…
+        let ap = average_precision(&[1, 2, 3], &[3, 2, 4]);
+        assert!((ap - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_1_map() {
+        let map = mean_average_precision(
+            &[vec![1, 2, 3], vec![1, 2, 3]],
+            &[vec![4, 3, 2], vec![3, 2, 4]],
+        );
+        // (0.39 + 0.67)/2 ≈ 0.53 (paper rounds); exact: (7/18 + 2/3)/2.
+        assert!((map - (7.0 / 18.0 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_answer_has_ap_one() {
+        assert_eq!(average_precision(&[5, 6, 7], &[5, 6, 7]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_answer_has_ap_zero() {
+        assert_eq!(average_precision(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn set_equal_but_reversed_still_scores_one() {
+        // AP only checks membership at each rank against the true *set*;
+        // a reversed-but-complete answer keeps precision 1 at every rank.
+        assert_eq!(average_precision(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn ratio_perfect_is_one() {
+        let t = vec![n(0, 1.0), n(1, 2.0)];
+        assert_eq!(approximation_ratio(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn ratio_of_double_distances_is_two() {
+        let t = vec![n(0, 1.0), n(1, 2.0)];
+        let a = vec![n(2, 2.0), n(3, 4.0)];
+        assert!((approximation_ratio(&t, &a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_zero_true_distance_handled() {
+        let t = vec![n(0, 0.0), n(1, 2.0)];
+        let a = vec![n(0, 0.0), n(2, 4.0)];
+        assert!((approximation_ratio(&t, &a) - 1.5).abs() < 1e-9);
+        // Missing the zero-distance neighbor: that term is skipped.
+        let a2 = vec![n(3, 5.0), n(2, 4.0)];
+        assert!((approximation_ratio(&t, &a2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recall_counts_membership_only() {
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &[4, 3, 9, 9]), 0.5);
+        assert_eq!(recall_at_k(&[1], &[1]), 1.0);
+        assert_eq!(recall_at_k(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn score_workload_aggregates() {
+        let t = vec![vec![n(0, 1.0), n(1, 2.0)], vec![n(5, 1.0), n(6, 2.0)]];
+        let s = score_workload(&t, &t);
+        assert_eq!(s.map, 1.0);
+        assert_eq!(s.ratio, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        assert_eq!(mean_average_precision(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Bounded max-heap for accumulating the k nearest neighbors seen so far.
+
+use crate::ObjectId;
+use std::cmp::Ordering;
+
+/// A `(distance, object id)` pair produced by a kNN search.
+///
+/// Ordering is by distance first (ascending), then by id, which makes result
+/// lists deterministic even when distances tie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub id: ObjectId,
+    pub dist: f32,
+}
+
+impl Neighbor {
+    pub fn new(id: ObjectId, dist: f32) -> Self {
+        Self { id, dist }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Keeps the `k` smallest-distance [`Neighbor`]s pushed into it.
+///
+/// Implemented as a binary max-heap laid out in a `Vec`: the root holds the
+/// *worst* retained neighbor so a push against a full heap is a single
+/// compare in the common (rejected) case.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: Vec<Neighbor>,
+}
+
+impl TopK {
+    /// Creates an accumulator retaining the `k` nearest neighbors.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: Vec::with_capacity(k),
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current worst retained distance, or `f32::INFINITY` while not full.
+    ///
+    /// This is the pruning bound exact searches (iDistance, kd-tree) test
+    /// against.
+    pub fn bound(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].dist
+        }
+    }
+
+    /// Offers a candidate; keeps it only if it beats the current bound.
+    /// Returns `true` if the candidate was retained.
+    pub fn push(&mut self, n: Neighbor) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(n);
+            self.sift_up(self.heap.len() - 1);
+            true
+        } else if n < self.heap[0] {
+            self.heap[0] = n;
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the accumulator, returning neighbors sorted nearest-first.
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.heap.sort_unstable();
+        self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] > self.heap[parent] {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && self.heap[l] > self.heap[largest] {
+                largest = l;
+            }
+            if r < n && self.heap[r] > self.heap[largest] {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_k_smallest() {
+        let mut tk = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
+            tk.push(Neighbor::new(i as u32, *d));
+        }
+        let out = tk.into_sorted();
+        let dists: Vec<f32> = out.iter().map(|n| n.dist).collect();
+        assert_eq!(dists, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn bound_is_infinite_until_full() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.bound(), f32::INFINITY);
+        tk.push(Neighbor::new(0, 1.0));
+        assert_eq!(tk.bound(), f32::INFINITY);
+        tk.push(Neighbor::new(1, 2.0));
+        assert_eq!(tk.bound(), 2.0);
+        tk.push(Neighbor::new(2, 0.5));
+        assert_eq!(tk.bound(), 1.0);
+    }
+
+    #[test]
+    fn rejects_worse_when_full() {
+        let mut tk = TopK::new(1);
+        assert!(tk.push(Neighbor::new(0, 1.0)));
+        assert!(!tk.push(Neighbor::new(1, 2.0)));
+        assert!(tk.push(Neighbor::new(2, 0.1)));
+        assert_eq!(tk.into_sorted()[0].id, 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut tk = TopK::new(2);
+        tk.push(Neighbor::new(7, 1.0));
+        tk.push(Neighbor::new(3, 1.0));
+        tk.push(Neighbor::new(5, 1.0));
+        let ids: Vec<u32> = tk.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    #[test]
+    fn fewer_than_k_pushes() {
+        let mut tk = TopK::new(10);
+        tk.push(Neighbor::new(0, 3.0));
+        tk.push(Neighbor::new(1, 1.0));
+        let out = tk.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn heap_property_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let dists: Vec<f32> = (0..1000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut tk = TopK::new(25);
+        for (i, &d) in dists.iter().enumerate() {
+            tk.push(Neighbor::new(i as u32, d));
+        }
+        let got: Vec<f32> = tk.into_sorted().iter().map(|n| n.dist).collect();
+        let mut expect = dists.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.truncate(25);
+        assert_eq!(got, expect);
+    }
+}

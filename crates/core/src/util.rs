@@ -1,0 +1,99 @@
+//! Small numeric helpers shared by the benchmark harness and tests.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0.0 for slices shorter than 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median of a slice (averaging the two middle elements for even lengths);
+/// 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = s.len() / 2;
+    if s.len().is_multiple_of(2) {
+        (s[mid - 1] + s[mid]) / 2.0
+    } else {
+        s[mid]
+    }
+}
+
+/// Formats a duration in adaptive units (ns/µs/ms/s) for harness tables.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Formats a byte count in adaptive units (B/KB/MB/GB) for harness tables.
+pub fn fmt_bytes(b: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b < KB {
+        format!("{b:.0}B")
+    } else if b < KB * KB {
+        format!("{:.1}KB", b / KB)
+    } else if b < KB * KB * KB {
+        format!("{:.1}MB", b / (KB * KB))
+    } else {
+        format!("{:.2}GB", b / (KB * KB * KB))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0MB");
+    }
+}

@@ -1,0 +1,814 @@
+//! HD-Index construction (Algorithm 1), querying (Algorithm 2), and updates
+//! (§3.6).
+
+use crate::config::{FilterKind, HdIndexParams, QueryParams};
+use crate::filters::{keep_smallest, ptolemaic_lb, triangular_lb};
+use crate::rdb;
+use crate::reference::{self, ReferenceSet};
+use hd_btree::BTree;
+use hd_core::dataset::Dataset;
+use hd_core::distance::l2_sq;
+use hd_core::partition::Partitioning;
+use hd_core::topk::{Neighbor, TopK};
+use hd_hilbert::HilbertCurve;
+use hd_storage::{BufferPool, IoSnapshot, Pager, VectorHeap};
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Per-query diagnostics mirroring the paper's cost model (§4.4.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Candidates actually pulled from the RDB-trees (≤ α·τ).
+    pub scanned: usize,
+    /// Final candidate-set size κ (γ ≤ κ ≤ τ·γ).
+    pub kappa: usize,
+    /// Pages physically read during the query (the paper's "random disk
+    /// accesses" when caches are off).
+    pub physical_reads: u64,
+    /// Page requests including buffer-pool hits.
+    pub logical_reads: u64,
+}
+
+/// The HD-Index: τ RDB-trees over Hilbert keys plus a vector heap file.
+pub struct HdIndex {
+    params: HdIndexParams,
+    partitioning: Partitioning,
+    curves: Vec<HilbertCurve>,
+    trees: Vec<BTree>,
+    heap: VectorHeap,
+    refs: ReferenceSet,
+    tombstones: HashSet<u64>,
+    dim: usize,
+    dir: PathBuf,
+}
+
+impl std::fmt::Debug for HdIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HdIndex")
+            .field("n", &self.heap.len())
+            .field("dim", &self.dim)
+            .field("tau", &self.params.tau)
+            .field("m", &self.refs.m())
+            .finish()
+    }
+}
+
+impl HdIndex {
+    /// Builds the index over `data` in directory `dir` (Algorithm 1):
+    /// select references → compute reference distances → partition
+    /// dimensions → Hilbert-key each partition → bulk-load τ RDB-trees →
+    /// store raw descriptors in the heap file.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or parameters are inconsistent
+    /// (τ > ν, m > n).
+    pub fn build(data: &Dataset, params: &HdIndexParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let dim = data.dim();
+        assert!(params.tau <= dim, "more trees than dimensions");
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        // 1. Reference objects and per-object reference distances (these are
+        //    the leaf payloads).
+        let refs = reference::select(data, params.num_references, params.ref_selection, params.seed);
+        let m = refs.m();
+        let n = data.len();
+        let mut ref_dists = vec![0.0f32; n * m];
+        {
+            let mut row = Vec::with_capacity(m);
+            for j in 0..n {
+                refs.distances_to(data.get(j), &mut row);
+                ref_dists[j * m..(j + 1) * m].copy_from_slice(&row);
+            }
+        }
+
+        // 2. Dimension partitioning (contiguous by default, §3.1).
+        let partitioning = match params.random_partitioning {
+            Some(seed) => Partitioning::random(dim, params.tau, seed),
+            None => Partitioning::contiguous(dim, params.tau),
+        };
+
+        // 3. One Hilbert curve + RDB-tree per partition.
+        let mut curves = Vec::with_capacity(params.tau);
+        let mut trees = Vec::with_capacity(params.tau);
+        let (lo, hi) = params.domain;
+        let mut sub = Vec::new();
+        for g in 0..params.tau {
+            let eta = partitioning.group(g).len();
+            if eta > 64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "η = {eta} dimensions per curve exceeds the 64-dim Hilbert kernel; \
+                         raise τ (the paper doubles τ for 500+ dims, §5.2.4)"
+                    ),
+                ));
+            }
+            let curve = HilbertCurve::new(eta, params.hilbert_order);
+            let key_len = rdb::key_len(curve.key_len());
+            let val_len = rdb::val_len(m);
+
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(n);
+            for j in 0..n {
+                partitioning.project_into(data.get(j), g, &mut sub);
+                let hk = curve.encode_floats(&sub, lo, hi);
+                entries.push((
+                    rdb::encode_key(&hk, j as u64),
+                    rdb::encode_value(&ref_dists[j * m..(j + 1) * m]),
+                ));
+            }
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+            let pager = Pager::create(dir.join(format!("tree_{g}.rdb")))?;
+            let pool = Arc::new(BufferPool::new(pager, params.query_cache_pages));
+            let mut tree = BTree::create(pool, key_len, val_len)?;
+            tree.bulk_load(entries, 1.0)?;
+            curves.push(curve);
+            trees.push(tree);
+        }
+
+        // 4. Raw descriptors, fetched by pointer during refinement.
+        let mut heap = VectorHeap::create(dir.join("vectors.heap"), dim, params.query_cache_pages)?;
+        for j in 0..n {
+            heap.append(data.get(j))?;
+        }
+
+        let index = Self {
+            params: params.clone(),
+            partitioning,
+            curves,
+            trees,
+            heap,
+            refs,
+            tombstones: HashSet::new(),
+            dim,
+            dir,
+        };
+        index.persist_meta()?;
+        index.reset_io_stats();
+        Ok(index)
+    }
+
+    /// Reopens a previously built index from its directory: metadata, τ
+    /// RDB-tree files, and the vector heap. Tombstones survive the round
+    /// trip; the reference set is restored bit-exactly.
+    pub fn open(dir: impl AsRef<Path>, query_cache_pages: usize) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let meta = crate::meta::IndexMeta::read(&dir)?;
+        let partitioning = Partitioning::from_groups(meta.dim, meta.groups.clone());
+        let refs = ReferenceSet::from_parts(meta.ref_ids.clone(), meta.ref_vectors.clone());
+
+        let mut curves = Vec::with_capacity(meta.tau);
+        let mut trees = Vec::with_capacity(meta.tau);
+        for g in 0..meta.tau {
+            curves.push(HilbertCurve::new(partitioning.group(g).len(), meta.omega));
+            let pager = hd_storage::Pager::open(
+                dir.join(format!("tree_{g}.rdb")),
+                hd_storage::DEFAULT_PAGE_SIZE,
+            )?;
+            let pool = Arc::new(BufferPool::new(pager, query_cache_pages));
+            trees.push(BTree::open(pool)?);
+        }
+        let heap = VectorHeap::open(dir.join("vectors.heap"), meta.dim, query_cache_pages, meta.n)?;
+
+        let params = HdIndexParams {
+            tau: meta.tau,
+            hilbert_order: meta.omega,
+            num_references: meta.m,
+            ref_selection: crate::config::RefSelection::default(),
+            domain: meta.domain,
+            random_partitioning: None,
+            build_cache_pages: 0,
+            query_cache_pages,
+            seed: 0,
+        };
+        let index = Self {
+            params,
+            partitioning,
+            curves,
+            trees,
+            heap,
+            refs,
+            tombstones: meta.tombstones.into_iter().collect(),
+            dim: meta.dim,
+            dir,
+        };
+        index.reset_io_stats();
+        Ok(index)
+    }
+
+    fn persist_meta(&self) -> io::Result<()> {
+        let mut tombstones: Vec<u64> = self.tombstones.iter().copied().collect();
+        tombstones.sort_unstable();
+        crate::meta::IndexMeta {
+            dim: self.dim,
+            n: self.heap.len(),
+            tau: self.params.tau,
+            omega: self.params.hilbert_order,
+            m: self.refs.m(),
+            domain: self.params.domain,
+            groups: (0..self.partitioning.tau())
+                .map(|g| self.partitioning.group(g).to_vec())
+                .collect(),
+            ref_ids: self.refs.ids.clone(),
+            ref_vectors: self.refs.vectors.clone(),
+            tombstones,
+        }
+        .write(&self.dir)
+    }
+
+    pub fn len(&self) -> u64 {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn params(&self) -> &HdIndexParams {
+        &self.params
+    }
+
+    pub fn references(&self) -> &ReferenceSet {
+        &self.refs
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Answers a kANN query (Algorithm 2).
+    pub fn knn(&self, query: &[f32], qp: &QueryParams) -> io::Result<Vec<Neighbor>> {
+        self.knn_traced(query, qp).map(|(r, _)| r)
+    }
+
+    /// Answers a kANN query, also reporting the paper's cost-model
+    /// quantities for this query.
+    pub fn knn_traced(&self, query: &[f32], qp: &QueryParams) -> io::Result<(Vec<Neighbor>, QueryTrace)> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+        let before = self.io_stats();
+        let m = self.refs.m();
+        let (lo, hi) = self.params.domain;
+
+        // Distances from the query to all references (kept in memory; §4.4.1
+        // argues the reference set always fits).
+        let mut q_dists = Vec::with_capacity(m);
+        self.refs.distances_to(query, &mut q_dists);
+
+        let mut candidate_ids: Vec<u64> = Vec::with_capacity(qp.gamma * self.trees.len());
+        let mut scanned_total = 0usize;
+        let mut sub = Vec::new();
+        let mut ids: Vec<u64> = Vec::with_capacity(qp.alpha);
+        let mut dists_flat: Vec<f32> = Vec::with_capacity(qp.alpha * m);
+
+        for (g, tree) in self.trees.iter().enumerate() {
+            // (i) α candidates by Hilbert-key adjacency, walking outward in
+            // both directions from the query's position in the leaf chain.
+            self.partitioning.project_into(query, g, &mut sub);
+            let probe = rdb::encode_probe_key(&self.curves[g].encode_floats(&sub, lo, hi));
+            let mut fwd = tree.seek(&probe)?;
+            let mut bwd = fwd.clone();
+            bwd.retreat()?;
+
+            ids.clear();
+            dists_flat.clear();
+            fn take(cursor: &hd_btree::Cursor, ids: &mut Vec<u64>, dists: &mut Vec<f32>) {
+                ids.push(rdb::decode_id(cursor.key()));
+                rdb::decode_value_into(cursor.value(), dists);
+            }
+            while ids.len() < qp.alpha && (fwd.valid() || bwd.valid()) {
+                if fwd.valid() {
+                    take(&fwd, &mut ids, &mut dists_flat);
+                    fwd.advance()?;
+                }
+                if ids.len() < qp.alpha && bwd.valid() {
+                    take(&bwd, &mut ids, &mut dists_flat);
+                    bwd.retreat()?;
+                }
+            }
+            scanned_total += ids.len();
+
+            // (ii) Triangular filter (Eq. 5): α → β (or straight to γ when
+            // running triangular-only, the paper's "β = γ").
+            let tri_keep = match qp.filter {
+                FilterKind::TriangularOnly => qp.gamma,
+                FilterKind::TriangularPtolemaic => qp.beta,
+            };
+            let scored: Vec<(f32, u32)> = (0..ids.len())
+                .map(|i| (triangular_lb(&q_dists, &dists_flat[i * m..(i + 1) * m]), i as u32))
+                .collect();
+            let mut survivors = keep_smallest(scored, tri_keep);
+
+            // (iii) Ptolemaic filter (Eq. 6): β → γ.
+            if qp.filter == FilterKind::TriangularPtolemaic {
+                let rescored: Vec<(f32, u32)> = survivors
+                    .iter()
+                    .map(|&(_, i)| {
+                        let o = &dists_flat[i as usize * m..(i as usize + 1) * m];
+                        (ptolemaic_lb(&q_dists, o, &self.refs), i)
+                    })
+                    .collect();
+                survivors = keep_smallest(rescored, qp.gamma);
+            }
+
+            candidate_ids.extend(survivors.iter().map(|&(_, i)| ids[i as usize]));
+        }
+
+        // Union across trees: C, κ = |C|.
+        candidate_ids.sort_unstable();
+        candidate_ids.dedup();
+        let kappa = candidate_ids.len();
+
+        // Final refinement: fetch full descriptors, exact distances, top-k.
+        let mut tk = TopK::new(qp.k);
+        let mut vbuf = Vec::with_capacity(self.dim);
+        for &id in &candidate_ids {
+            if self.tombstones.contains(&id) {
+                continue;
+            }
+            self.heap.get_into(id, &mut vbuf)?;
+            tk.push(Neighbor::new(id as u32, l2_sq(query, &vbuf)));
+        }
+        let mut answer = tk.into_sorted();
+        for nb in &mut answer {
+            nb.dist = nb.dist.sqrt();
+        }
+
+        let delta = self.io_stats().since(&before);
+        Ok((
+            answer,
+            QueryTrace {
+                scanned: scanned_total,
+                kappa,
+                physical_reads: delta.physical_reads,
+                logical_reads: delta.logical_reads,
+            },
+        ))
+    }
+
+    /// Parallel variant of [`Self::knn`] (§5.2.8, §6: the paper notes the
+    /// τ independent RDB-trees parallelize "with little synchronization").
+    /// Each tree's candidate-generation + filtering runs on its own thread;
+    /// the union and exact refinement stay sequential.
+    pub fn knn_parallel(&self, query: &[f32], qp: &QueryParams) -> io::Result<Vec<Neighbor>> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+        let m = self.refs.m();
+        let (lo, hi) = self.params.domain;
+        let mut q_dists = Vec::with_capacity(m);
+        self.refs.distances_to(query, &mut q_dists);
+        let q_dists = &q_dists;
+
+        let per_tree: Vec<io::Result<Vec<u64>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.trees.len())
+                .map(|g| {
+                    s.spawn(move || -> io::Result<Vec<u64>> {
+                        let tree = &self.trees[g];
+                        let mut sub = Vec::new();
+                        self.partitioning.project_into(query, g, &mut sub);
+                        let probe =
+                            rdb::encode_probe_key(&self.curves[g].encode_floats(&sub, lo, hi));
+                        let mut fwd = tree.seek(&probe)?;
+                        let mut bwd = fwd.clone();
+                        bwd.retreat()?;
+
+                        let mut ids: Vec<u64> = Vec::with_capacity(qp.alpha);
+                        let mut dists_flat: Vec<f32> = Vec::with_capacity(qp.alpha * m);
+                        while ids.len() < qp.alpha && (fwd.valid() || bwd.valid()) {
+                            if fwd.valid() {
+                                ids.push(rdb::decode_id(fwd.key()));
+                                rdb::decode_value_into(fwd.value(), &mut dists_flat);
+                                fwd.advance()?;
+                            }
+                            if ids.len() < qp.alpha && bwd.valid() {
+                                ids.push(rdb::decode_id(bwd.key()));
+                                rdb::decode_value_into(bwd.value(), &mut dists_flat);
+                                bwd.retreat()?;
+                            }
+                        }
+                        let tri_keep = match qp.filter {
+                            FilterKind::TriangularOnly => qp.gamma,
+                            FilterKind::TriangularPtolemaic => qp.beta,
+                        };
+                        let scored: Vec<(f32, u32)> = (0..ids.len())
+                            .map(|i| {
+                                (
+                                    triangular_lb(q_dists, &dists_flat[i * m..(i + 1) * m]),
+                                    i as u32,
+                                )
+                            })
+                            .collect();
+                        let mut survivors = keep_smallest(scored, tri_keep);
+                        if qp.filter == FilterKind::TriangularPtolemaic {
+                            let rescored: Vec<(f32, u32)> = survivors
+                                .iter()
+                                .map(|&(_, i)| {
+                                    let o = &dists_flat[i as usize * m..(i as usize + 1) * m];
+                                    (ptolemaic_lb(q_dists, o, &self.refs), i)
+                                })
+                                .collect();
+                            survivors = keep_smallest(rescored, qp.gamma);
+                        }
+                        Ok(survivors.into_iter().map(|(_, i)| ids[i as usize]).collect())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tree worker panicked"))
+                .collect()
+        });
+
+        let mut candidate_ids = Vec::with_capacity(qp.gamma * self.trees.len());
+        for r in per_tree {
+            candidate_ids.extend(r?);
+        }
+        candidate_ids.sort_unstable();
+        candidate_ids.dedup();
+
+        let mut tk = TopK::new(qp.k);
+        let mut vbuf = Vec::with_capacity(self.dim);
+        for &id in &candidate_ids {
+            if self.tombstones.contains(&id) {
+                continue;
+            }
+            self.heap.get_into(id, &mut vbuf)?;
+            tk.push(Neighbor::new(id as u32, l2_sq(query, &vbuf)));
+        }
+        let mut answer = tk.into_sorted();
+        for nb in &mut answer {
+            nb.dist = nb.dist.sqrt();
+        }
+        Ok(answer)
+    }
+
+    /// Inserts a new object (§3.6): append the descriptor, compute its
+    /// reference distances and Hilbert keys, insert into every RDB-tree.
+    /// The reference set is deliberately not re-selected.
+    pub fn insert(&mut self, vector: &[f32]) -> io::Result<u64> {
+        assert_eq!(vector.len(), self.dim, "dimensionality mismatch");
+        let id = self.heap.append(vector)?;
+        let mut dists = Vec::with_capacity(self.refs.m());
+        self.refs.distances_to(vector, &mut dists);
+        let value = rdb::encode_value(&dists);
+        let (lo, hi) = self.params.domain;
+        let mut sub = Vec::new();
+        for g in 0..self.trees.len() {
+            self.partitioning.project_into(vector, g, &mut sub);
+            let hk = self.curves[g].encode_floats(&sub, lo, hi);
+            let key = rdb::encode_key(&hk, id);
+            self.trees[g].insert(&key, &value)?;
+        }
+        self.tombstones.remove(&id);
+        self.persist_meta()?;
+        Ok(id)
+    }
+
+    /// Deletes an object (§3.6): tombstoned, never returned again. The
+    /// tombstone is persisted with the index metadata.
+    pub fn delete(&mut self, id: u64) -> io::Result<()> {
+        self.tombstones.insert(id);
+        self.persist_meta()
+    }
+
+    /// Whether an object is deleted.
+    pub fn is_deleted(&self, id: u64) -> bool {
+        self.tombstones.contains(&id)
+    }
+
+    /// Aggregated IO counters over all τ tree pools and the heap pool.
+    pub fn io_stats(&self) -> IoSnapshot {
+        let mut total = IoSnapshot::default();
+        for t in &self.trees {
+            let s = t.pool().stats();
+            total.logical_reads += s.logical_reads;
+            total.physical_reads += s.physical_reads;
+            total.physical_writes += s.physical_writes;
+        }
+        let s = self.heap.pool().stats();
+        total.logical_reads += s.logical_reads;
+        total.physical_reads += s.physical_reads;
+        total.physical_writes += s.physical_writes;
+        total
+    }
+
+    pub fn reset_io_stats(&self) {
+        for t in &self.trees {
+            t.pool().reset_stats();
+        }
+        self.heap.pool().reset_stats();
+    }
+
+    /// Total on-disk index size (trees + heap), the paper's "index size".
+    pub fn disk_bytes(&self) -> u64 {
+        self.trees.iter().map(|t| t.disk_bytes()).sum::<u64>() + self.heap.disk_bytes()
+    }
+
+    /// On-disk size of the RDB-trees alone (excluding raw data).
+    pub fn tree_disk_bytes(&self) -> u64 {
+        self.trees.iter().map(|t| t.disk_bytes()).sum()
+    }
+
+    /// Query-resident memory: reference set + buffer-pool caches. With the
+    /// paper's cache-off configuration this is just the references — the
+    /// "≤ 40 MB querying footprint" of Fig. 8e/j/o.
+    pub fn memory_bytes(&self) -> usize {
+        let pools: usize = self
+            .trees
+            .iter()
+            .map(|t| t.pool().memory_bytes())
+            .sum::<usize>()
+            + self.heap.pool().memory_bytes();
+        self.refs.memory_bytes() + pools
+    }
+
+    /// Leaf order Ω of tree `g` (for Table 3 style reporting).
+    pub fn leaf_order(&self, g: usize) -> usize {
+        self.trees[g].leaf_order()
+    }
+
+    /// Height of tree `g`.
+    pub fn tree_height(&self, g: usize) -> u32 {
+        self.trees[g].height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RefSelection;
+    use hd_core::dataset::{generate, DatasetProfile};
+    use hd_core::ground_truth::ground_truth_knn;
+    use hd_core::metrics::{ids, score_workload};
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hd_index_tests").join(format!(
+            "{name}_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_params() -> HdIndexParams {
+        HdIndexParams {
+            tau: 4,
+            hilbert_order: 8,
+            num_references: 5,
+            ref_selection: RefSelection::Sss { f: 0.3 },
+            domain: (0.0, 255.0),
+            random_partitioning: None,
+            build_cache_pages: 64,
+            query_cache_pages: 0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn build_and_query_returns_k_sorted_neighbors() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 2000, 5, 1);
+        let dir = test_dir("basic");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        assert_eq!(index.len(), 2000);
+        let qp = QueryParams::triangular(256, 64, 10);
+        for q in queries.iter() {
+            let res = index.knn(q, &qp).unwrap();
+            assert_eq!(res.len(), 10);
+            for w in res.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn self_query_finds_the_object_itself() {
+        let (data, _) = generate(&DatasetProfile::SIFT, 1000, 1, 2);
+        let dir = test_dir("self");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let qp = QueryParams::triangular(128, 32, 1);
+        // Database points are their own nearest neighbor at distance 0, and
+        // the query's Hilbert key equals the object's, so the object is
+        // always among the α candidates of every tree.
+        for probe in [0usize, 137, 500, 999] {
+            let res = index.knn(data.get(probe), &qp).unwrap();
+            assert_eq!(res[0].dist, 0.0, "object {probe} not found");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn quality_beats_random_guessing_by_far() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 5000, 20, 3);
+        let dir = test_dir("quality");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let k = 10;
+        let truth = ground_truth_knn(&data, &queries, k, 4);
+        let qp = QueryParams::triangular(512, 128, k);
+        let approx: Vec<Vec<Neighbor>> = queries
+            .iter()
+            .map(|q| index.knn(q, &qp).unwrap())
+            .collect();
+        let s = score_workload(&truth, &approx);
+        assert!(s.map > 0.5, "MAP@10 too low: {}", s.map);
+        assert!(s.ratio < 1.2, "ratio too high: {}", s.ratio);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn ptolemaic_pipeline_at_least_matches_triangular_map() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 4000, 15, 4);
+        let dir = test_dir("pto");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let k = 10;
+        let truth = ground_truth_knn(&data, &queries, k, 4);
+        let t_ids: Vec<Vec<u32>> = truth.iter().map(|t| ids(t)).collect();
+
+        let run = |qp: &QueryParams| -> f64 {
+            let approx: Vec<Vec<u32>> = queries
+                .iter()
+                .map(|q| ids(&index.knn(q, qp).unwrap()))
+                .collect();
+            hd_core::metrics::mean_average_precision(&t_ids, &approx)
+        };
+        // Aggressive reduction (α:β = 1:4 over the paper's framing) is where
+        // Ptolemaic helps most (§5.2.5).
+        let tri = run(&QueryParams::triangular(512, 32, k));
+        let pto = run(&QueryParams::ptolemaic(512, 128, 32, k));
+        assert!(
+            pto + 0.02 >= tri,
+            "Ptolemaic should not be materially worse: {pto} vs {tri}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn trace_reports_cost_model_quantities() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 3000, 1, 5);
+        let dir = test_dir("trace");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let qp = QueryParams::triangular(256, 64, 10);
+        let (_, trace) = index.knn_traced(queries.get(0), &qp).unwrap();
+        let tau = 4;
+        assert!(trace.scanned <= qp.alpha * tau);
+        assert!(trace.scanned >= qp.alpha, "all trees should contribute");
+        assert!(trace.kappa >= qp.gamma.min(3000) / 4, "kappa implausibly small");
+        assert!(trace.kappa <= qp.gamma * tau);
+        // With caches off, every logical read is physical.
+        assert_eq!(trace.physical_reads, trace.logical_reads);
+        assert!(trace.physical_reads > 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn insert_then_query_finds_new_object() {
+        let (data, _) = generate(&DatasetProfile::SIFT, 1500, 1, 6);
+        let dir = test_dir("insert");
+        let mut index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let novel: Vec<f32> = (0..128).map(|i| ((i * 7) % 256) as f32).collect();
+        let id = index.insert(&novel).unwrap();
+        assert_eq!(id, 1500);
+        let res = index
+            .knn(&novel, &QueryParams::triangular(128, 32, 1))
+            .unwrap();
+        assert_eq!(res[0].id as u64, id);
+        assert_eq!(res[0].dist, 0.0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn delete_hides_object_from_results() {
+        let (data, _) = generate(&DatasetProfile::SIFT, 1500, 1, 7);
+        let dir = test_dir("delete");
+        let mut index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let qp = QueryParams::triangular(128, 32, 1);
+        let target = index.knn(data.get(3), &qp).unwrap()[0];
+        assert_eq!(target.dist, 0.0);
+        index.delete(target.id as u64).unwrap();
+        let after = index.knn(data.get(3), &qp).unwrap();
+        assert_ne!(after[0].id, target.id, "deleted object must not reappear");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn k_larger_than_candidates_returns_fewer() {
+        let (data, _) = generate(&DatasetProfile::SIFT, 50, 1, 8);
+        let dir = test_dir("smallk");
+        let mut p = small_params();
+        p.num_references = 3;
+        let index = HdIndex::build(&data, &p, &dir).unwrap();
+        let res = index
+            .knn(data.get(0), &QueryParams::triangular(16, 4, 40))
+            .unwrap();
+        assert!(!res.is_empty() && res.len() <= 40);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn random_partitioning_builds_and_queries() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 2000, 5, 9);
+        let dir = test_dir("randpart");
+        let mut p = small_params();
+        p.random_partitioning = Some(123);
+        let index = HdIndex::build(&data, &p, &dir).unwrap();
+        let res = index
+            .knn(queries.get(0), &QueryParams::triangular(256, 64, 10))
+            .unwrap();
+        assert_eq!(res.len(), 10);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn disk_and_memory_accounting_nonzero() {
+        let (data, _) = generate(&DatasetProfile::SIFT, 1000, 1, 10);
+        let dir = test_dir("acct");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        assert!(index.disk_bytes() > 0);
+        assert!(index.tree_disk_bytes() > 0);
+        assert!(index.memory_bytes() > 0, "reference set is memory-resident");
+        // Cache-off pools hold nothing.
+        assert_eq!(
+            index.memory_bytes(),
+            index.references().memory_bytes(),
+            "with query_cache_pages=0 only the references stay in RAM"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reopen_from_disk_preserves_answers_and_tombstones() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 1200, 3, 12);
+        let dir = test_dir("reopen");
+        let qp = QueryParams::triangular(256, 64, 10);
+        let (expected, deleted): (Vec<Vec<Neighbor>>, u64) = {
+            let mut index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+            let victim = index.knn(data.get(0), &qp).unwrap()[0].id as u64;
+            index.delete(victim).unwrap();
+            (
+                queries.iter().map(|q| index.knn(q, &qp).unwrap()).collect(),
+                victim,
+            )
+        };
+        // Reopen in a fresh struct and compare every answer.
+        let reopened = HdIndex::open(&dir, 0).unwrap();
+        assert_eq!(reopened.len(), 1200);
+        assert!(reopened.is_deleted(deleted), "tombstone must survive reopen");
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(
+                reopened.knn(q, &qp).unwrap(),
+                expected[qi],
+                "query {qi} diverged after reopen"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn parallel_query_matches_sequential() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 2500, 10, 13);
+        let dir = test_dir("parallel");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        for qp in [
+            QueryParams::triangular(256, 64, 10),
+            QueryParams::ptolemaic(256, 128, 64, 10),
+        ] {
+            for q in queries.iter() {
+                assert_eq!(
+                    index.knn_parallel(q, &qp).unwrap(),
+                    index.knn(q, &qp).unwrap(),
+                    "parallel and sequential answers must be identical"
+                );
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_missing_dir_errors() {
+        let err = HdIndex::open("/nonexistent/hd_index_dir", 0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn leaf_orders_follow_eq4_shape() {
+        let (data, _) = generate(&DatasetProfile::SIFT, 500, 1, 11);
+        let dir = test_dir("leaf");
+        let mut p = small_params();
+        p.tau = 8;
+        p.num_references = 10;
+        let index = HdIndex::build(&data, &p, &dir).unwrap();
+        // η=16, ω=8, m=10 → paper Ω=63; our layout differs by 2 header bytes
+        // and the id-in-key encoding, so allow ±1.
+        let omega = index.leaf_order(0);
+        assert!((62..=64).contains(&omega), "leaf order {omega} far from Eq. (4)");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,194 @@
+//! Index metadata persistence.
+//!
+//! Everything the query path needs besides the RDB-tree/heap files is tiny
+//! (partitioning, reference vectors, curve parameters, tombstones), so it is
+//! stored in a human-readable `meta.txt` in the index directory. Floats are
+//! serialized as IEEE-754 bit patterns in hex, making the round trip
+//! bit-exact without a serialization dependency.
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+pub const META_FILE: &str = "meta.txt";
+const MAGIC: &str = "hdindex-meta v1";
+
+/// The persisted state of an [`crate::HdIndex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexMeta {
+    pub dim: usize,
+    pub n: u64,
+    pub tau: usize,
+    pub omega: u32,
+    pub m: usize,
+    pub domain: (f32, f32),
+    pub groups: Vec<Vec<usize>>,
+    pub ref_ids: Vec<u32>,
+    pub ref_vectors: Vec<Vec<f32>>,
+    pub tombstones: Vec<u64>,
+}
+
+fn f32_hex(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+fn parse_f32_hex(s: &str) -> io::Result<f32> {
+    u32::from_str_radix(s, 16)
+        .map(f32::from_bits)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad f32 hex {s}: {e}")))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> io::Result<T> {
+    s.parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}: {s}")))
+}
+
+impl IndexMeta {
+    /// Writes the metadata file into `dir` (atomically via rename).
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let tmp = dir.join(format!("{META_FILE}.tmp"));
+        {
+            let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(f, "{MAGIC}")?;
+            writeln!(f, "dim {}", self.dim)?;
+            writeln!(f, "n {}", self.n)?;
+            writeln!(f, "tau {}", self.tau)?;
+            writeln!(f, "omega {}", self.omega)?;
+            writeln!(f, "m {}", self.m)?;
+            writeln!(f, "domain {} {}", f32_hex(self.domain.0), f32_hex(self.domain.1))?;
+            for g in &self.groups {
+                let dims: Vec<String> = g.iter().map(|d| d.to_string()).collect();
+                writeln!(f, "group {}", dims.join(" "))?;
+            }
+            for (id, v) in self.ref_ids.iter().zip(&self.ref_vectors) {
+                let vals: Vec<String> = v.iter().map(|&x| f32_hex(x)).collect();
+                writeln!(f, "ref {id} {}", vals.join(" "))?;
+            }
+            let ts: Vec<String> = self.tombstones.iter().map(|t| t.to_string()).collect();
+            writeln!(f, "tombstones {}", ts.join(" "))?;
+            f.flush()?;
+        }
+        std::fs::rename(tmp, dir.join(META_FILE))
+    }
+
+    /// Reads the metadata file from `dir`.
+    pub fn read(dir: &Path) -> io::Result<IndexMeta> {
+        let f = io::BufReader::new(std::fs::File::open(dir.join(META_FILE))?);
+        let mut lines = f.lines();
+        let first = lines.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "empty metadata file")
+        })??;
+        if first != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad metadata magic: {first}"),
+            ));
+        }
+        let mut meta = IndexMeta {
+            dim: 0,
+            n: 0,
+            tau: 0,
+            omega: 0,
+            m: 0,
+            domain: (0.0, 0.0),
+            groups: Vec::new(),
+            ref_ids: Vec::new(),
+            ref_vectors: Vec::new(),
+            tombstones: Vec::new(),
+        };
+        for line in lines {
+            let line = line?;
+            let mut it = line.split_whitespace();
+            match it.next() {
+                Some("dim") => meta.dim = parse(it.next().unwrap_or(""), "dim")?,
+                Some("n") => meta.n = parse(it.next().unwrap_or(""), "n")?,
+                Some("tau") => meta.tau = parse(it.next().unwrap_or(""), "tau")?,
+                Some("omega") => meta.omega = parse(it.next().unwrap_or(""), "omega")?,
+                Some("m") => meta.m = parse(it.next().unwrap_or(""), "m")?,
+                Some("domain") => {
+                    meta.domain = (
+                        parse_f32_hex(it.next().unwrap_or(""))?,
+                        parse_f32_hex(it.next().unwrap_or(""))?,
+                    );
+                }
+                Some("group") => {
+                    let g: io::Result<Vec<usize>> = it.map(|s| parse(s, "group dim")).collect();
+                    meta.groups.push(g?);
+                }
+                Some("ref") => {
+                    meta.ref_ids.push(parse(it.next().unwrap_or(""), "ref id")?);
+                    let v: io::Result<Vec<f32>> = it.map(parse_f32_hex).collect();
+                    meta.ref_vectors.push(v?);
+                }
+                Some("tombstones") => {
+                    let t: io::Result<Vec<u64>> = it.map(|s| parse(s, "tombstone")).collect();
+                    meta.tombstones = t?;
+                }
+                Some(other) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown metadata key: {other}"),
+                    ));
+                }
+                None => {}
+            }
+        }
+        if meta.dim == 0 || meta.tau == 0 || meta.groups.len() != meta.tau {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "incomplete metadata",
+            ));
+        }
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IndexMeta {
+        IndexMeta {
+            dim: 4,
+            n: 100,
+            tau: 2,
+            omega: 8,
+            m: 2,
+            domain: (-1.5, 255.25),
+            groups: vec![vec![0, 1], vec![2, 3]],
+            ref_ids: vec![7, 42],
+            ref_vectors: vec![vec![0.1, -0.2, 3.5e8, 0.0], vec![1.0, 2.0, 3.0, 4.0]],
+            tombstones: vec![5, 99],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("hd_meta_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = sample();
+        meta.write(&dir).unwrap();
+        let back = IndexMeta::read(&dir).unwrap();
+        assert_eq!(meta, back);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("hd_meta_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(META_FILE), "not a meta file\n").unwrap();
+        assert!(IndexMeta::read(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_tombstones_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hd_meta_ts_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut meta = sample();
+        meta.tombstones.clear();
+        meta.write(&dir).unwrap();
+        assert_eq!(IndexMeta::read(&dir).unwrap().tombstones, Vec::<u64>::new());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

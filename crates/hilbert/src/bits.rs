@@ -1,0 +1,195 @@
+//! Bit-level helpers: n-bit word rotations, Gray codes, and MSB-first
+//! bit streams backing multi-precision Hilbert keys.
+
+/// All-ones mask of the low `n` bits (`n` in `1..=64`).
+#[inline]
+pub fn mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Rotate the low `n` bits of `x` right by `r` (bits above `n` must be 0).
+#[inline]
+pub fn rotr(x: u64, r: u32, n: u32) -> u64 {
+    debug_assert!(x <= mask(n));
+    let r = r % n;
+    if r == 0 {
+        return x;
+    }
+    ((x >> r) | (x << (n - r))) & mask(n)
+}
+
+/// Rotate the low `n` bits of `x` left by `r`.
+#[inline]
+pub fn rotl(x: u64, r: u32, n: u32) -> u64 {
+    let r = r % n;
+    if r == 0 {
+        return x;
+    }
+    rotr(x, n - r, n)
+}
+
+/// Binary-reflected Gray code.
+#[inline]
+pub fn gray(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// Inverse Gray code (prefix-xor).
+#[inline]
+pub fn gray_inverse(g: u64) -> u64 {
+    let mut i = g;
+    let mut shift = 1u32;
+    while shift < 64 {
+        i ^= i >> shift;
+        shift <<= 1;
+    }
+    i
+}
+
+/// Number of trailing set bits — the axis along which `gray(i)` and
+/// `gray(i+1)` differ.
+#[inline]
+pub fn trailing_set_bits(i: u64) -> u32 {
+    i.trailing_ones()
+}
+
+/// Writes words MSB-first into a byte buffer (most significant level of the
+/// Hilbert index first, so byte-lexicographic key order equals numeric
+/// index order).
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits used in the final byte (0 means byte-aligned).
+    used: u32,
+}
+
+impl BitWriter {
+    pub fn with_capacity(total_bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(total_bits.div_ceil(8)),
+            used: 0,
+        }
+    }
+
+    /// Appends the low `n` bits of `w`, most significant bit first.
+    pub fn push(&mut self, w: u64, n: u32) {
+        debug_assert!((1..=64).contains(&n));
+        for bit_idx in (0..n).rev() {
+            let bit = ((w >> bit_idx) & 1) as u8;
+            if self.used == 0 {
+                self.buf.push(0);
+            }
+            let last = self.buf.last_mut().expect("pushed above");
+            *last |= bit << (7 - self.used);
+            self.used = (self.used + 1) % 8;
+        }
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads words MSB-first from a byte buffer (inverse of [`BitWriter`]).
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Reads the next `n` bits as the low bits of a word.
+    pub fn read(&mut self, n: u32) -> u64 {
+        debug_assert!((1..=64).contains(&n));
+        let mut w = 0u64;
+        for _ in 0..n {
+            let byte = self.buf[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8) as u32)) & 1;
+            w = (w << 1) | bit as u64;
+            self.pos += 1;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn rotations_inverse_each_other() {
+        for n in [2u32, 3, 7, 16, 63, 64] {
+            for x in [0u64, 1, 0b1011, mask(n)] {
+                let x = x & mask(n);
+                for r in 0..n {
+                    assert_eq!(rotl(rotr(x, r, n), r, n), x, "n={n} r={r} x={x:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotr_known_values() {
+        assert_eq!(rotr(0b001, 1, 3), 0b100);
+        assert_eq!(rotr(0b110, 2, 3), 0b101);
+        assert_eq!(rotl(0b100, 1, 3), 0b001);
+    }
+
+    #[test]
+    fn gray_code_properties() {
+        // Successive Gray codes differ in exactly one bit.
+        for i in 0u64..256 {
+            assert_eq!((gray(i) ^ gray(i + 1)).count_ones(), 1);
+            assert_eq!(gray_inverse(gray(i)), i);
+        }
+    }
+
+    #[test]
+    fn gray_difference_position_is_trailing_set_bits() {
+        for i in 0u64..256 {
+            let diff = gray(i) ^ gray(i + 1);
+            assert_eq!(diff.trailing_zeros(), trailing_set_bits(i));
+        }
+    }
+
+    #[test]
+    fn bit_stream_roundtrip() {
+        let mut w = BitWriter::with_capacity(64);
+        w.push(0b101, 3);
+        w.push(0xFFFF, 16);
+        w.push(0, 5);
+        w.push(0b1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0b101);
+        assert_eq!(r.read(16), 0xFFFF);
+        assert_eq!(r.read(5), 0);
+        assert_eq!(r.read(1), 1);
+    }
+
+    #[test]
+    fn msb_first_layout_orders_lexicographically() {
+        // Larger word ⇒ lexicographically larger byte string.
+        let encode = |v: u64| {
+            let mut w = BitWriter::with_capacity(12);
+            w.push(v, 12);
+            w.finish()
+        };
+        assert!(encode(5) < encode(6));
+        assert!(encode(255) < encode(256));
+        assert!(encode(0) < encode(4095));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the Hilbert curve invariants the index relies on.
+
+use hd_hilbert::{quantize, HilbertCurve, HilbertKey};
+use proptest::prelude::*;
+
+/// Arbitrary (dims, order) pairs kept small enough that full-curve walks in
+/// the adjacency property stay fast.
+fn curve_params() -> impl Strategy<Value = (usize, u32)> {
+    (1usize..=6, 1u32..=3).prop_filter("bounded state space", |(d, o)| {
+        // at most 2^(d*o) <= 2^12 cells for the exhaustive walk
+        d * (*o as usize) <= 12
+    })
+}
+
+proptest! {
+    /// encode ∘ decode = id on random points of random curves.
+    #[test]
+    fn roundtrip((dims, order) in (1usize..=64, 1u32..=32), seed in any::<u64>()) {
+        let curve = HilbertCurve::new(dims, order);
+        // Derive deterministic pseudo-random in-range coordinates from seed.
+        let cells = if order == 32 { u64::from(u32::MAX) } else { (1u64 << order) - 1 };
+        let point: Vec<u64> = (0..dims)
+            .map(|i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)) & cells)
+            .collect();
+        let key = curve.encode(&point);
+        prop_assert_eq!(curve.decode(&key), point);
+        prop_assert_eq!(key.len(), HilbertKey::byte_len(dims, order));
+    }
+
+    /// The full walk visits every cell exactly once, each step moving to an
+    /// L1-adjacent cell — the defining Hilbert property.
+    #[test]
+    fn exhaustive_walk_is_hamiltonian_and_adjacent((dims, order) in curve_params()) {
+        let curve = HilbertCurve::new(dims, order);
+        let cells = 1u64 << order;
+        let total = cells.pow(dims as u32);
+
+        let mut keyed: Vec<(Vec<u8>, Vec<u64>)> = Vec::with_capacity(total as usize);
+        let mut p = vec![0u64; dims];
+        loop {
+            keyed.push((curve.encode(&p).as_bytes().to_vec(), p.clone()));
+            let mut i = 0;
+            loop {
+                if i == dims { break; }
+                p[i] += 1;
+                if p[i] < cells { break; }
+                p[i] = 0;
+                i += 1;
+            }
+            if i == dims { break; }
+        }
+        keyed.sort();
+        // Bijectivity: all keys distinct.
+        for w in keyed.windows(2) {
+            prop_assert_ne!(&w[0].0, &w[1].0, "duplicate key");
+        }
+        // Adjacency: consecutive cells along the curve touch.
+        for w in keyed.windows(2) {
+            let l1: u64 = w[0].1.iter().zip(&w[1].1).map(|(a, b)| a.abs_diff(*b)).sum();
+            prop_assert_eq!(l1, 1, "non-adjacent step {:?} -> {:?}", w[0].1, w[1].1);
+        }
+    }
+
+    /// Quantization stays on-grid and is monotone.
+    #[test]
+    fn quantize_bounds(v in -1.0f32..=1.0, order in 1u32..=32) {
+        let cell = quantize(v, -1.0, 1.0, order);
+        prop_assert!(cell < (1u64 << order));
+    }
+
+    /// Keys order like integers: for a 1-D curve the Hilbert key of x is x
+    /// itself, so byte order must equal numeric order.
+    #[test]
+    fn one_dimensional_curve_is_identity(a in 0u64..256, b in 0u64..256) {
+        let curve = HilbertCurve::new(1, 8);
+        let (ka, kb) = (curve.encode(&[a]), curve.encode(&[b]));
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        prop_assert_eq!(ka.to_u128_lossy(), a as u128);
+    }
+}

@@ -1,0 +1,27 @@
+//! Disk substrate for the HD-Index reproduction.
+//!
+//! HD-Index is explicitly a *disk-based* structure evaluated with OS
+//! buffering and caching turned off (paper §5, "Evaluation Metrics"). This
+//! crate provides the storage stack every disk-resident index in the
+//! workspace is built on:
+//!
+//! * [`page`] — fixed-size pages (4096 B, the paper's `B`).
+//! * [`pager`] — a file-backed page allocator with raw page IO.
+//! * [`buffer`] — a buffer pool with LRU eviction, pin-free `Arc` page
+//!   handles, an exact IO-statistics ledger, and a zero-capacity mode that
+//!   reproduces the paper's cache-off measurements.
+//! * [`heap`] — a paged heap file of raw vectors, the "complete object
+//!   descriptors" that step (iii) of the query algorithm fetches by pointer.
+//! * [`stats`] — logical/physical access counters shared across components.
+
+pub mod buffer;
+pub mod heap;
+pub mod page;
+pub mod pager;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use heap::VectorHeap;
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use pager::Pager;
+pub use stats::{IoSnapshot, IoStats};

@@ -1,0 +1,106 @@
+//! IO accounting.
+//!
+//! The paper analyzes query cost in *random disk accesses* (§4.4.1) and runs
+//! all timing experiments with caching disabled (§5). These counters are the
+//! hardware-independent reproduction of that measurement: every page that
+//! crosses the pager boundary is a physical access; every page request
+//! satisfied by the buffer pool is a logical access only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe IO counters. Cheap to read; incremented on every page
+/// request.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Page requests, whether or not they hit the buffer pool.
+    pub logical_reads: u64,
+    /// Page reads that went to the pager (i.e., "random disk accesses").
+    pub physical_reads: u64,
+    /// Page writes that went to the pager.
+    pub physical_writes: u64,
+}
+
+impl IoSnapshot {
+    /// Accesses between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+        }
+    }
+}
+
+impl IoStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.record_logical_read();
+        s.record_physical_read();
+        s.record_physical_write();
+        let snap = s.snapshot();
+        assert_eq!(snap.logical_reads, 2);
+        assert_eq!(snap.physical_reads, 1);
+        assert_eq!(snap.physical_writes, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = IoStats::new();
+        s.record_physical_read();
+        let a = s.snapshot();
+        s.record_physical_read();
+        s.record_logical_read();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.physical_reads, 1);
+        assert_eq!(d.logical_reads, 1);
+        assert_eq!(d.physical_writes, 0);
+    }
+}

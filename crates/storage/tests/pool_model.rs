@@ -1,0 +1,79 @@
+//! Model-based property tests for the buffer pool: under any interleaving of
+//! writes and reads, the pool must return exactly what a plain in-memory map
+//! of pages would, regardless of cache capacity, and its physical-read count
+//! must never exceed the logical-read count.
+
+use hd_storage::{BufferPool, Pager};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { page: u64, fill: u8 },
+    Read { page: u64 },
+    ClearCache,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..16, any::<u8>()).prop_map(|(page, fill)| Op::Write { page, fill }),
+            (0u64..16).prop_map(|page| Op::Read { page }),
+            Just(Op::ClearCache),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_matches_model(operations in ops(), capacity in 0usize..8) {
+        let dir = std::env::temp_dir().join("hd_pool_model");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "m_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let page_size = 64;
+        let pager = Pager::create_with_page_size(&path, page_size).unwrap();
+        pager.allocate_pages(16).unwrap();
+        let pool = BufferPool::new(pager, capacity);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+
+        for op in &operations {
+            match op {
+                Op::Write { page, fill } => {
+                    pool.write(*page, &vec![*fill; page_size]).unwrap();
+                    model.insert(*page, *fill);
+                }
+                Op::Read { page } => {
+                    let got = pool.read(*page).unwrap();
+                    let want = model.get(page).copied().unwrap_or(0);
+                    prop_assert!(
+                        got.iter().all(|&b| b == want),
+                        "page {} expected fill {:#x}",
+                        page,
+                        want
+                    );
+                }
+                Op::ClearCache => pool.clear_cache(),
+            }
+        }
+
+        let stats = pool.stats();
+        prop_assert!(stats.physical_reads <= stats.logical_reads);
+        if capacity == 0 {
+            prop_assert_eq!(stats.physical_reads, stats.logical_reads,
+                "zero capacity must make every read physical");
+        }
+        // Cache never exceeds its capacity.
+        prop_assert!(pool.memory_bytes() <= capacity * page_size);
+        std::fs::remove_file(path).ok();
+    }
+}

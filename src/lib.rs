@@ -1,0 +1,23 @@
+//! # hd-index-repro — a Rust reproduction of HD-Index (VLDB 2018)
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`hd_core`] — datasets, distances, metrics, k-means, linear algebra.
+//! * [`hd_storage`] — pages, pager, buffer pool, vector heap file.
+//! * [`hd_hilbert`] — Hilbert space-filling curve for arbitrary η and ω.
+//! * [`hd_btree`] — disk-resident B+-tree.
+//! * [`hd_index`] — the paper's contribution: RDB-trees + distance filters.
+//! * [`hd_baselines`] — iDistance, Multicurves, C2LSH, QALSH, SRS, PQ/OPQ,
+//!   HNSW, linear scan.
+//! * [`hd_app`] — Borda-count image search (paper §5.5).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and per-experiment index.
+
+pub use hd_app;
+pub use hd_baselines;
+pub use hd_btree;
+pub use hd_core;
+pub use hd_hilbert;
+pub use hd_index;
+pub use hd_storage;
