@@ -175,7 +175,7 @@ impl C2lsh {
         }
 
         let mut level: u32 = 0;
-        loop {
+        'rounds: loop {
             let scale = (self.params.c as i64).pow(level); // bucket merge width
             for i in 0..self.m {
                 let tab = &self.tables[i];
@@ -193,15 +193,16 @@ impl C2lsh {
                         self.heap.get_into(id as u64, &mut vbuf)?;
                         tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
                         n_verified += 1;
+                        // T2 holds *as candidates are found*, not merely at
+                        // round boundaries — otherwise one virtual-rehash
+                        // round can verify arbitrarily far past βn + k.
+                        if n_verified >= budget {
+                            break 'rounds;
+                        }
                     }
                 }
                 lo[i] = win_lo.min(lo[i]);
                 hi[i] = win_hi.max(hi[i]);
-            }
-
-            // T2: verification budget exhausted.
-            if n_verified >= budget {
-                break;
             }
             // T1: k candidates within c·R (R = w·c^level in key units; the
             // heap distances are squared, hence the squared comparison).

@@ -277,7 +277,18 @@ mod tests {
     #[test]
     fn adc_alone_beats_random_and_rerank_restores_quality() {
         let (data, queries) = generate(&DatasetProfile::SIFT, 3000, 10, 52);
-        let pq = Pq::build(&data, small());
+        // `small()`'s 32 centroids/subspace cannot resolve within-cluster
+        // ranking on 128-dim concentrated data (ADC recall ≈ right-cluster
+        // chance, 10/500); 64 centroids with a full training pass can.
+        let pq = Pq::build(
+            &data,
+            PqParams {
+                k_sub: 64,
+                train_size: 3000,
+                kmeans_iters: 15,
+                ..small()
+            },
+        );
         let truth = ground_truth_knn(&data, &queries, 10, 4);
         // Raw ADC ranking is coarse (quantization noise ≈ within-cluster
         // distance spread) but must be far better than chance (10/3000).

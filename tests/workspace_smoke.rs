@@ -1,0 +1,42 @@
+//! Seconds-fast workspace canary: build a tiny HD-Index end to end, query
+//! it, and cross-check against an exact linear scan. If a refactor breaks
+//! the storage stack, the Hilbert keys, the B+-tree, or the filter pipeline,
+//! this fails long before the heavyweight suites finish.
+
+use hd_index_repro::hd_baselines::linear::LinearScan;
+use hd_index_repro::hd_core::dataset::{generate, DatasetProfile};
+use hd_index_repro::hd_index::{HdIndex, HdIndexParams, QueryParams};
+
+#[test]
+fn tiny_index_agrees_with_linear_scan() {
+    let (data, queries) = generate(&DatasetProfile::SIFT, 500, 5, 424242);
+    let dir = std::env::temp_dir().join(format!("hd_smoke_{}", std::process::id()));
+    let params = HdIndexParams {
+        tau: 4,
+        num_references: 5,
+        ..HdIndexParams::for_profile(&DatasetProfile::SIFT)
+    };
+    let index = HdIndex::build(&data, &params, &dir).unwrap();
+    assert_eq!(index.len(), 500);
+
+    let linear = LinearScan::new(&data);
+    let qp = QueryParams::triangular(128, 64, 10);
+    for (qi, q) in queries.iter().enumerate() {
+        let approx = index.knn(q, &qp).unwrap();
+        let exact = linear.knn(q, 10);
+        assert_eq!(approx.len(), 10, "query {qi}: wrong result count");
+        for w in approx.windows(2) {
+            assert!(w[0].dist <= w[1].dist, "query {qi}: unsorted result");
+        }
+        // Approximate search must agree with ground truth on at least one of
+        // the true top-10 (on 500 points with α=128 it recovers far more;
+        // ≥ 1 keeps the canary robust while still catching wiring bugs).
+        let exact_ids: std::collections::HashSet<u32> = exact.iter().map(|n| n.id).collect();
+        let hits = approx.iter().filter(|n| exact_ids.contains(&n.id)).count();
+        assert!(
+            hits >= 1,
+            "query {qi}: no overlap at all with exact top-10 — index is returning noise"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,103 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Size specification: an exact length or a half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+        let len = self.size.pick(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_value(rng)?);
+        }
+        Ok(out)
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<BTreeSet<S::Value>, Rejection> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set below target; a bounded top-up keeps the
+        // minimum size honored for all but pathologically narrow domains.
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.element.new_value(rng)?);
+            attempts += 1;
+        }
+        if out.len() < self.size.min {
+            return Err(Rejection("btree_set domain too small for minimum size"));
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Covers exactly what this workspace's property tests use: the `proptest!`
+//! macro, `Strategy` with `prop_map`/`prop_flat_map`/`prop_filter`, range and
+//! tuple strategies, `Just`, `any::<T>()`, `prop_oneof!`,
+//! `collection::{vec, btree_set}`, `sample::subsequence`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   (`Debug`-free — the assertion message carries the context instead).
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name (overridable with `PROPTEST_SEED`), so CI failures
+//!   reproduce locally without a persistence file.
+//! * Rejection sampling (`prop_filter`) gives up after a fixed budget rather
+//!   than tracking global rejection ratios.
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Strategy for the canonical "whole domain" distribution of a type.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Types with a canonical whole-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.unit_f64() as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Runs `cases` iterations of a generated-input test body. This is the
+/// engine behind the [`proptest!`] macro; the macro packages each test's
+/// strategies and body into the two closures.
+pub fn run_property_test<F>(config: &ProptestConfig, test_name: &str, mut one_case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), strategy::Rejection>,
+{
+    let mut rng = TestRng::for_test(test_name);
+    let mut completed = 0u32;
+    let mut rejected = 0u32;
+    while completed < config.cases {
+        match one_case(&mut rng) {
+            Ok(()) => completed += 1,
+            Err(_) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.max_global_rejects,
+                    "{test_name}: too many rejected inputs ({rejected}) — \
+                     filter is unsatisfiable or too strict"
+                );
+            }
+        }
+    }
+}
+
+/// `proptest! { #![proptest_config(...)] #[test] fn name(pat in strat, ...) { body } ... }`
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            // Evaluate each strategy expression once, like real proptest;
+            // the tuple-of-strategies is itself a strategy for the tuple of
+            // values, so one `new_value` call drives all arguments.
+            let strategies = ($($strat,)+);
+            $crate::run_property_test(&config, test_name, |rng| {
+                let ($($pat,)+) = $crate::Strategy::new_value(&strategies, rng)?;
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / with trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// `prop_assert_ne!(a, b)` / with trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,5 @@
+//! The glob-import surface tests use: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary};

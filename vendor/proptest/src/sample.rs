@@ -1,0 +1,37 @@
+//! Sampling strategies: `subsequence`.
+
+use crate::collection::SizeRange;
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+pub struct SubsequenceStrategy<T> {
+    source: Vec<T>,
+    size: SizeRange,
+}
+
+/// Order-preserving random subsequence of `source` with a length drawn from
+/// `size`.
+pub fn subsequence<T: Clone>(
+    source: Vec<T>,
+    size: impl Into<SizeRange>,
+) -> SubsequenceStrategy<T> {
+    SubsequenceStrategy {
+        source,
+        size: size.into(),
+    }
+}
+
+impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+    type Value = Vec<T>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<Vec<T>, Rejection> {
+        let len = self.size.pick(rng).min(self.source.len());
+        // Floyd-style distinct index sampling, then sort to preserve order.
+        let n = self.source.len() as u64;
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < len {
+            chosen.insert(rng.below(n) as usize);
+        }
+        Ok(chosen.into_iter().map(|i| self.source[i].clone()).collect())
+    }
+}

@@ -1,0 +1,262 @@
+//! The `Strategy` trait and its combinators/primitive implementations.
+
+use crate::test_runner::TestRng;
+use crate::Arbitrary;
+use std::marker::PhantomData;
+
+/// A generated input was rejected (by a filter); the runner retries with
+/// fresh randomness instead of counting the case.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub &'static str);
+
+/// Something that can produce random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `new_value`
+/// directly yields a value (or a rejection bubbled up from a filter).
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Whole-domain strategy for an [`Arbitrary`] type (see [`crate::any`]).
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(T::arbitrary_value(rng))
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<U, Rejection> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+        let mid = self.inner.new_value(rng)?;
+        (self.f)(mid).new_value(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        // A bounded local retry keeps one sparse filter from burning the
+        // whole global rejection budget.
+        for _ in 0..64 {
+            let v = self.inner.new_value(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(self.reason))
+    }
+}
+
+/// Uniform choice among boxed strategies — what [`crate::prop_oneof!`]
+/// expands to.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                Ok(self.start + rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return Ok(rng.next_u64() as $t);
+                }
+                Ok(lo + rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy");
+                let t = rng.unit_f64();
+                Ok((self.start as f64 + t * (self.end as f64 - self.start as f64)) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "empty range strategy");
+                let t = rng.unit_f64();
+                Ok((lo + t * (hi - lo)) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}

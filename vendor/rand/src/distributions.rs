@@ -1,0 +1,165 @@
+//! Distribution types (`rand::distributions` subset): `Uniform` and
+//! `WeightedIndex`, plus the `Distribution` trait that ties them to an RNG.
+
+use crate::{unit_f64, RngCore, SampleRange};
+
+/// Anything usable as a sampling weight (numeric, by value or reference).
+pub trait Weight {
+    fn as_f64(&self) -> f64;
+}
+
+macro_rules! impl_weight {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            fn as_f64(&self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+impl_weight!(f32, f64, u8, u16, u32, u64, usize, i32, i64);
+
+impl<W: Weight + ?Sized> Weight for &W {
+    fn as_f64(&self) -> f64 {
+        (**self).as_f64()
+    }
+}
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<X> {
+    low: X,
+    high: X,
+}
+
+impl<X: Copy + PartialOrd> Uniform<X> {
+    pub fn new(low: X, high: X) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform { low, high }
+    }
+}
+
+macro_rules! impl_uniform_dist {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                (self.low..self.high).sample_single(rng)
+            }
+        }
+    )*};
+}
+impl_uniform_dist!(f32, f64, u8, u16, u32, u64, usize, i32, i64);
+
+/// Error for invalid weighted-index construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    NoItem,
+    InvalidWeight,
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no items"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` with probability proportional to the given
+/// weights (inverse-CDF over the cumulative sums).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Weight,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w: f64 = w.as_f64();
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x = unit_f64(rng.next_u64()) * total;
+        // First index whose cumulative weight exceeds x.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let wi = WeightedIndex::new([0.0f32, 1.0, 0.0]).unwrap();
+        for _ in 0..200 {
+            assert_eq!(wi.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_inputs() {
+        assert_eq!(
+            WeightedIndex::new(std::iter::empty::<f32>()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0f32, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new([-1.0f32]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Uniform::new(-1.0f32, 1.0);
+        for _ in 0..1000 {
+            let v = u.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+}
