@@ -28,7 +28,7 @@ pub fn borda_count(owner: &[u32], result_sets: &[Vec<Neighbor>]) -> Vec<(u32, u6
 mod tests {
     use super::*;
 
-    fn n(id: u32) -> Neighbor {
+    fn n(id: u64) -> Neighbor {
         Neighbor::new(id, 1.0)
     }
 

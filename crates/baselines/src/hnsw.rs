@@ -289,7 +289,7 @@ impl Hnsw {
         let found = self.search_layer(query, &[ep], ef, 0);
         let mut tk = TopK::new(k.min(self.nodes.len()).max(1));
         for (d, id) in found {
-            tk.push(Neighbor::new(id, d));
+            tk.push(Neighbor::new(u64::from(id), d));
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {

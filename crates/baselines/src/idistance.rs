@@ -227,7 +227,7 @@ impl IDistance {
             }
             let id = u64::from_le_bytes(cur.value().try_into().expect("8-byte value"));
             self.heap.get_into(id, vbuf)?;
-            tk.push(Neighbor::new(id as u32, l2_sq(query, vbuf)));
+            tk.push(Neighbor::new(id, l2_sq(query, vbuf)));
             *examined += 1;
             cur.advance()?;
         }
@@ -309,8 +309,8 @@ mod tests {
         for q in queries.iter() {
             let got = idx.knn(q, 10).unwrap();
             let want = knn_exact(&data, q, 10);
-            let g: Vec<u32> = got.iter().map(|n| n.id).collect();
-            let w: Vec<u32> = want.iter().map(|n| n.id).collect();
+            let g: Vec<u64> = got.iter().map(|n| n.id).collect();
+            let w: Vec<u64> = want.iter().map(|n| n.id).collect();
             assert_eq!(g, w, "iDistance must be exact");
         }
         std::fs::remove_dir_all(dir).ok();

@@ -27,7 +27,7 @@ impl<'a> LinearScan<'a> {
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         let mut tk = TopK::new(k.min(self.data.len()).max(1));
         for (i, p) in self.data.iter().enumerate() {
-            tk.push(Neighbor::new(i as u32, l2_sq(query, p)));
+            tk.push(Neighbor::new(i as u64, l2_sq(query, p)));
         }
         let mut out = tk.into_sorted();
         for n in &mut out {
@@ -66,7 +66,7 @@ impl DiskLinearScan {
         let mut buf = Vec::with_capacity(self.heap.dim());
         for id in 0..n {
             self.heap.get_into(id, &mut buf)?;
-            tk.push(Neighbor::new(id as u32, l2_sq(query, &buf)));
+            tk.push(Neighbor::new(id, l2_sq(query, &buf)));
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {

@@ -191,7 +191,7 @@ impl C2lsh {
                     if counts[id_us] as usize >= self.l && !verified[id_us] {
                         verified[id_us] = true;
                         self.heap.get_into(id as u64, &mut vbuf)?;
-                        tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+                        tk.push(Neighbor::new(u64::from(id), l2_sq(query, &vbuf)));
                         n_verified += 1;
                         // T2 holds *as candidates are found*, not merely at
                         // round boundaries — otherwise one virtual-rehash

@@ -147,7 +147,7 @@ impl E2lsh {
                 for &id in ids {
                     if seen.insert(id) {
                         self.heap.get_into(id as u64, &mut vbuf)?;
-                        tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+                        tk.push(Neighbor::new(u64::from(id), l2_sq(query, &vbuf)));
                     }
                 }
             }

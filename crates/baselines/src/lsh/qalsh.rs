@@ -256,7 +256,7 @@ impl Qalsh {
         if counts[i] as usize >= self.l && !verified[i] {
             verified[i] = true;
             self.heap.get_into(id, vbuf)?;
-            tk.push(Neighbor::new(id as u32, l2_sq(query, vbuf)));
+            tk.push(Neighbor::new(id, l2_sq(query, vbuf)));
             *n_verified += 1;
         }
         Ok(())

@@ -111,7 +111,7 @@ impl Srs {
         let mut examined = 0usize;
         for (id, proj_d2) in self.tree.incremental_nn(&q_proj) {
             self.heap.get_into(id as u64, &mut vbuf)?;
-            tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+            tk.push(Neighbor::new(u64::from(id), l2_sq(query, &vbuf)));
             examined += 1;
             if examined >= max_examined && tk.len() == k {
                 break;

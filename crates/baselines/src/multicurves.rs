@@ -171,7 +171,7 @@ impl Multicurves {
                     for c in cur.value().chunks_exact(4) {
                         vbuf.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
                     }
-                    tk.push(Neighbor::new(id as u32, l2_sq(query, vbuf)));
+                    tk.push(Neighbor::new(id, l2_sq(query, vbuf)));
                 }
             };
             while taken < self.params.alpha && (fwd.valid() || bwd.valid()) {

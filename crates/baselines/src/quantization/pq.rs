@@ -180,7 +180,7 @@ impl Pq {
             for (s, &c) in code.iter().enumerate() {
                 d += lut[s][c as usize];
             }
-            tk.push(Neighbor::new(i as u32, d));
+            tk.push(Neighbor::new(i as u64, d));
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {

@@ -140,7 +140,7 @@ impl VaFile {
                 break;
             }
             self.heap.get_into(id as u64, &mut vbuf)?;
-            tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+            tk.push(Neighbor::new(u64::from(id), l2_sq(query, &vbuf)));
             refined += 1;
         }
         let _ = refined;
@@ -167,7 +167,7 @@ impl VaFile {
                 break;
             }
             self.heap.get_into(id as u64, &mut vbuf)?;
-            tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+            tk.push(Neighbor::new(u64::from(id), l2_sq(query, &vbuf)));
             refined += 1;
         }
         Ok(refined)

@@ -1,0 +1,131 @@
+//! Serving-engine throughput sweep: shards × worker threads × batch size,
+//! against a sequential single-query baseline on the same workload.
+//!
+//! The sequential baseline is the repo's pre-engine serving story — one
+//! `HdIndex`, one query at a time, per-query thread spawning not even
+//! counted. The sweep shows where the engine's three levers pay: sharding
+//! (smaller per-shard candidate unions), pooled threads (B·S tasks run
+//! concurrently), and batching (scheduling + reference-distance
+//! amortization). Run with `--scale 0.01` for a seconds-fast CI smoke.
+
+use hd_bench::{table, BenchConfig};
+use hd_core::dataset::{generate, DatasetProfile};
+use hd_engine::{Engine, EngineParams};
+use hd_index::{HdIndex, HdIndexParams, QueryParams};
+use std::time::Instant;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let profile = DatasetProfile::SIFT;
+    let n = cfg.n(20_000);
+    let nq = cfg.nq(256).clamp(16, 512);
+    let (data, queries) = generate(&profile, n, nq, cfg.seed);
+    let k = 10;
+    let qp = QueryParams::triangular(1024.min(n), 256.min(n), k);
+    let queries: Vec<&[f32]> = queries.iter().collect();
+    let scratch = cfg.scratch("engine_throughput");
+
+    // Serving configuration: caches on (this is a throughput experiment,
+    // not the paper's cache-off IO accounting), one budget per engine.
+    let index_params = HdIndexParams {
+        query_cache_pages: 256,
+        ..HdIndexParams::for_profile(&profile)
+    };
+
+    // --- Sequential baseline: one unsharded index, one query at a time.
+    let baseline = HdIndex::build(&data, &index_params, scratch.join("baseline"))
+        .expect("baseline build");
+    let t0 = Instant::now();
+    for q in &queries {
+        baseline.knn(q, &qp).expect("baseline query");
+    }
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let seq_qps = nq as f64 / seq_secs;
+    println!(
+        "sequential baseline: {n} points, {nq} queries, {:.1} QPS ({:.2} ms/query)",
+        seq_qps,
+        1e3 * seq_secs / nq as f64
+    );
+
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut thread_counts = vec![1usize, 2, hw];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let mut batch_sizes = vec![1usize, 16.min(nq), 64.min(nq)];
+    batch_sizes.sort_unstable();
+    batch_sizes.dedup();
+    let widths = [6usize, 8, 6, 10, 9, 9, 9, 8];
+    table::header(
+        "engine_throughput: shards × threads × batch",
+        &["shards", "threads", "batch", "QPS", "p50", "p95", "p99", "speedup"],
+        &widths,
+    );
+
+    let mut best = (0.0f64, 0usize, 0usize, 0usize);
+    for shards in [1usize, 2, 4] {
+        if n < shards {
+            continue;
+        }
+        let dir = scratch.join(format!("shards_{shards}"));
+        let build_params = EngineParams {
+            shards,
+            threads: 0,
+            cache_budget_pages: 4096,
+            index: index_params.clone(),
+        };
+        // Build once per shard count; each serving configuration below
+        // reopens the same files with its own pool and fresh metrics.
+        drop(Engine::build(&data, &build_params, &dir).expect("engine build"));
+
+        for &threads in &thread_counts {
+            for &batch in &batch_sizes {
+                let engine = Engine::open(
+                    &dir,
+                    &EngineParams {
+                        threads,
+                        ..build_params.clone()
+                    },
+                )
+                .expect("engine open");
+                let t0 = Instant::now();
+                for chunk in queries.chunks(batch) {
+                    engine
+                        .search_batch(chunk.iter().copied(), &qp)
+                        .expect("batched query");
+                }
+                let qps = nq as f64 / t0.elapsed().as_secs_f64();
+                let stats = engine.stats();
+                if qps > best.0 {
+                    best = (qps, shards, threads, batch);
+                }
+                table::row(
+                    &[
+                        shards.to_string(),
+                        threads.to_string(),
+                        batch.to_string(),
+                        format!("{qps:.1}"),
+                        table::ms(stats.p50_ms),
+                        table::ms(stats.p95_ms),
+                        table::ms(stats.p99_ms),
+                        format!("{:.2}x", qps / seq_qps),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+
+    let (best_qps, s, t, b) = best;
+    println!(
+        "\nbest: {best_qps:.1} QPS at shards={s} threads={t} batch={b} — {:.2}x the \
+         sequential single-query baseline ({seq_qps:.1} QPS)",
+        best_qps / seq_qps
+    );
+    if best_qps <= seq_qps {
+        println!(
+            "warning: batching did not beat sequential at this scale; \
+             rerun with a larger --scale for a meaningful comparison"
+        );
+    }
+    std::fs::remove_dir_all(scratch).ok();
+}

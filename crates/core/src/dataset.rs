@@ -322,8 +322,9 @@ pub fn read_bvecs(path: impl AsRef<Path>) -> io::Result<Dataset> {
     Ok(ds.unwrap_or_else(|| Dataset::new(1)))
 }
 
-/// Reads a TexMex `.ivecs` file (ground-truth id lists) as `Vec<Vec<u32>>`.
-pub fn read_ivecs(path: impl AsRef<Path>) -> io::Result<Vec<Vec<u32>>> {
+/// Reads a TexMex `.ivecs` file (ground-truth id lists) as `Vec<Vec<ObjectId>>`
+/// (ids are stored as `u32` on disk and widened on read).
+pub fn read_ivecs(path: impl AsRef<Path>) -> io::Result<Vec<Vec<crate::ObjectId>>> {
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
     let mut out = Vec::new();
     while let Some(d) = read_u32_le(&mut f)? {
@@ -332,7 +333,7 @@ pub fn read_ivecs(path: impl AsRef<Path>) -> io::Result<Vec<Vec<u32>>> {
         f.read_exact(&mut raw)?;
         out.push(
             raw.chunks_exact(4)
-                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .map(|c| crate::ObjectId::from(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
                 .collect(),
         );
     }

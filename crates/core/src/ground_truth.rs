@@ -14,7 +14,7 @@ use crate::topk::{Neighbor, TopK};
 pub fn knn_exact(data: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
     let mut tk = TopK::new(k.min(data.len().max(1)));
     for (i, p) in data.iter().enumerate() {
-        tk.push(Neighbor::new(i as u32, l2_sq(query, p)));
+        tk.push(Neighbor::new(i as crate::ObjectId, l2_sq(query, p)));
     }
     finalize(tk)
 }

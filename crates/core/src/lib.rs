@@ -11,6 +11,9 @@
 //!   (Def. 3), and recall.
 //! * [`ground_truth`] — multi-threaded exact kNN used as the gold standard.
 //! * [`partition`] — dimension partitioning schemes (§3.1, §5.2.1).
+//! * [`pool`] — a persistent worker pool with per-worker queues and
+//!   stealing; the serving substrate for parallel queries (never spawn
+//!   per-query OS threads).
 //! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding (iDistance, PQ).
 //! * [`linalg`] — dense matrices, Jacobi eigendecomposition, SVD, and the
 //!   orthogonal Procrustes solver used by OPQ.
@@ -23,6 +26,7 @@ pub mod kmeans;
 pub mod linalg;
 pub mod metrics;
 pub mod partition;
+pub mod pool;
 pub mod topk;
 pub mod util;
 
@@ -34,7 +38,9 @@ pub use topk::{Neighbor, TopK};
 
 /// Identifier of a database object (its position in the [`Dataset`]).
 ///
-/// `u32` bounds datasets at ~4.3 billion objects, which covers the paper's
-/// largest corpus (SIFT1B, ~1e9 objects) with headroom while halving the
-/// footprint of candidate lists relative to `usize`.
-pub type ObjectId = u32;
+/// `u64` matches the width of heap-file object pointers end to end: result
+/// ids flow from the storage layer to callers without narrowing casts, so a
+/// sharded deployment can address far more than the ~4.3 billion objects a
+/// `u32` would allow (the serving engine maps shard-local ids to global ids
+/// in this same space).
+pub type ObjectId = u64;

@@ -7,6 +7,7 @@
 //! auxiliary metric.
 
 use crate::topk::Neighbor;
+use crate::ObjectId;
 
 /// Approximation ratio `c` (Definition 1):
 /// `c = (1/k) Σ_i d(q, o'_i) / d(q, o_i)`.
@@ -51,7 +52,7 @@ pub fn approximation_ratio(truth: &[Neighbor], approx: &[Neighbor]) -> f64 {
 ///
 /// Matches the paper's worked Example 1: truth `{o1,o2,o3}`,
 /// answer `{o4,o3,o2}` gives `(0 + 1/2 + 2/3)/3 ≈ 0.39`.
-pub fn average_precision(truth_ids: &[u32], approx_ids: &[u32]) -> f64 {
+pub fn average_precision(truth_ids: &[ObjectId], approx_ids: &[ObjectId]) -> f64 {
     let k = truth_ids.len();
     if k == 0 {
         return 0.0;
@@ -71,7 +72,7 @@ pub fn average_precision(truth_ids: &[u32], approx_ids: &[u32]) -> f64 {
 ///
 /// `truth` and `approx` hold, per query, the ids of the exact and approximate
 /// k nearest neighbors in rank order.
-pub fn mean_average_precision(truth: &[Vec<u32>], approx: &[Vec<u32>]) -> f64 {
+pub fn mean_average_precision(truth: &[Vec<ObjectId>], approx: &[Vec<ObjectId>]) -> f64 {
     assert_eq!(truth.len(), approx.len(), "query count mismatch");
     if truth.is_empty() {
         return 0.0;
@@ -85,7 +86,7 @@ pub fn mean_average_precision(truth: &[Vec<u32>], approx: &[Vec<u32>]) -> f64 {
 }
 
 /// Fraction of the true k nearest neighbors present anywhere in the answer.
-pub fn recall_at_k(truth_ids: &[u32], approx_ids: &[u32]) -> f64 {
+pub fn recall_at_k(truth_ids: &[ObjectId], approx_ids: &[ObjectId]) -> f64 {
     if truth_ids.is_empty() {
         return 0.0;
     }
@@ -97,7 +98,7 @@ pub fn recall_at_k(truth_ids: &[u32], approx_ids: &[u32]) -> f64 {
 }
 
 /// Convenience: extract the id column from a neighbor list.
-pub fn ids(neighbors: &[Neighbor]) -> Vec<u32> {
+pub fn ids(neighbors: &[Neighbor]) -> Vec<ObjectId> {
     neighbors.iter().map(|n| n.id).collect()
 }
 
@@ -135,7 +136,7 @@ pub fn score_workload(truth: &[Vec<Neighbor>], approx: &[Vec<Neighbor>]) -> Qual
 mod tests {
     use super::*;
 
-    fn n(id: u32, d: f32) -> Neighbor {
+    fn n(id: ObjectId, d: f32) -> Neighbor {
         Neighbor::new(id, d)
     }
 

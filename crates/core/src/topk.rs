@@ -141,12 +141,13 @@ impl TopK {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ObjectId;
 
     #[test]
     fn retains_k_smallest() {
         let mut tk = TopK::new(3);
         for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
-            tk.push(Neighbor::new(i as u32, *d));
+            tk.push(Neighbor::new(i as ObjectId, *d));
         }
         let out = tk.into_sorted();
         let dists: Vec<f32> = out.iter().map(|n| n.dist).collect();
@@ -180,7 +181,7 @@ mod tests {
         tk.push(Neighbor::new(7, 1.0));
         tk.push(Neighbor::new(3, 1.0));
         tk.push(Neighbor::new(5, 1.0));
-        let ids: Vec<u32> = tk.into_sorted().iter().map(|n| n.id).collect();
+        let ids: Vec<ObjectId> = tk.into_sorted().iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![3, 5]);
     }
 
@@ -201,7 +202,7 @@ mod tests {
         let dists: Vec<f32> = (0..1000).map(|_| rng.gen_range(0.0..100.0)).collect();
         let mut tk = TopK::new(25);
         for (i, &d) in dists.iter().enumerate() {
-            tk.push(Neighbor::new(i as u32, d));
+            tk.push(Neighbor::new(i as ObjectId, d));
         }
         let got: Vec<f32> = tk.into_sorted().iter().map(|n| n.dist).collect();
         let mut expect = dists.clone();

@@ -1,0 +1,269 @@
+//! The serving engine: batched, concurrent kANN over a shard fleet.
+
+use crate::config::EngineParams;
+use crate::metrics::{EngineMetrics, EngineStats};
+use crate::shard::{global_of, shard_of, ShardSet};
+use hd_core::dataset::Dataset;
+use hd_core::pool::WorkerPool;
+use hd_core::topk::{Neighbor, TopK};
+use hd_index::QueryParams;
+use parking_lot::Mutex;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// A sharded, batched, concurrent query-serving engine over HD-Index.
+///
+/// * **Sharding** — the corpus is split round-robin across S independent
+///   [`hd_index::HdIndex`] shards (one directory each, one shared reference
+///   set, one shared cache budget). A query fans out to every shard and the
+///   per-shard top-k lists are exact-merged, so the answer is identical to
+///   what one index over the union of the shards' *candidates* would
+///   return (see `tests/shard_exactness.rs` for the invariant).
+/// * **Batching** — [`Engine::search_batch`] answers many queries per
+///   submission: reference distances are computed once per query and shared
+///   by all S shard tasks, and the B·S tasks are scheduled together on the
+///   engine's persistent worker pool.
+/// * **Concurrency** — searches take `&self` and run concurrently from any
+///   number of caller threads; [`Engine::insert`] / [`Engine::delete`] are
+///   lock-guarded (per-shard `RwLock` writes plus a global append gate) and
+///   interleave with in-flight searches.
+///
+/// No code path spawns OS threads per query: all fan-out rides the pool
+/// created when the engine was.
+pub struct Engine {
+    set: ShardSet,
+    pool: WorkerPool,
+    metrics: EngineMetrics,
+    /// Total object count; serializes appends so the round-robin placement
+    /// invariant (`global id n → shard n mod S`) holds under concurrency.
+    append_gate: Mutex<u64>,
+    dir: PathBuf,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("shards", &self.set.shards.len())
+            .field("threads", &self.pool.threads())
+            .field("n", &*self.append_gate.lock())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds a fresh engine over `data` in `dir`: selects one reference
+    /// set over the full corpus, splits the data round-robin, and builds
+    /// all shards in parallel on the engine's own pool.
+    pub fn build(data: &Dataset, params: &EngineParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let pool = WorkerPool::new(params.resolved_threads());
+        let set = ShardSet::build(data, params, &dir, &pool)?;
+        let n = set.len();
+        Ok(Self {
+            set,
+            pool,
+            metrics: EngineMetrics::new(),
+            append_gate: Mutex::new(n),
+            dir,
+        })
+    }
+
+    /// Reopens an engine previously built in `dir`. The shard count comes
+    /// from the on-disk metadata; `params` supplies the serving knobs
+    /// (threads, cache pages, cache budget).
+    pub fn open(dir: impl AsRef<Path>, params: &EngineParams) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let set = ShardSet::open(&dir, params)?;
+        let n = set.len();
+        Ok(Self {
+            set,
+            pool: WorkerPool::new(params.resolved_threads()),
+            metrics: EngineMetrics::new(),
+            append_gate: Mutex::new(n),
+            dir,
+        })
+    }
+
+    /// Answers one query (a batch of one). Prefer [`Self::search_batch`]
+    /// when requests can be grouped — that is where the engine amortizes.
+    pub fn search(&self, query: &[f32], qp: &QueryParams) -> io::Result<Vec<Neighbor>> {
+        Ok(self
+            .search_batch(std::iter::once(query), qp)?
+            .pop()
+            .expect("one answer per query"))
+    }
+
+    /// Answers a batch of queries, returning one nearest-first neighbor
+    /// list (global ids, true L2 distances) per query, in input order.
+    ///
+    /// Scheduling: the batch expands to B·S shard-tasks (hinted to the
+    /// shard's home queue), the per-query reference distances are computed
+    /// once and shared across the S tasks of that query, and per-shard
+    /// top-k lists are exact-merged through one bounded heap per query.
+    pub fn search_batch<'q, I>(&self, queries: I, qp: &QueryParams) -> io::Result<Vec<Vec<Neighbor>>>
+    where
+        I: IntoIterator<Item = &'q [f32]>,
+    {
+        let queries: Vec<&[f32]> = queries.into_iter().collect();
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t0 = Instant::now();
+        let s_count = self.set.shards.len();
+
+        // Reference distances: once per query, not once per (query, shard).
+        let q_dists: Vec<Vec<f32>> = queries
+            .iter()
+            .map(|q| {
+                let mut d = Vec::with_capacity(self.set.refs.m());
+                self.set.refs.distances_to(q, &mut d);
+                d
+            })
+            .collect();
+
+        let mut slots: Vec<Option<io::Result<Vec<Neighbor>>>> =
+            (0..queries.len() * s_count).map(|_| None).collect();
+        self.pool
+            .run_scoped(slots.iter_mut().enumerate().map(|(idx, slot)| {
+                let (qi, si) = (idx / s_count, idx % s_count);
+                let query = queries[qi];
+                let q_dists = &q_dists[qi];
+                let shard = &self.set.shards[si];
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let result = shard
+                        .index
+                        .read()
+                        .knn_with_ref_dists(query, q_dists, qp)
+                        .map(|mut neighbors| {
+                            for nb in &mut neighbors {
+                                nb.id = global_of(si, nb.id, s_count as u64);
+                            }
+                            neighbors
+                        });
+                    *slot = Some(result);
+                });
+                (si, task)
+            }));
+
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut slots = slots.into_iter();
+        for _ in 0..queries.len() {
+            let mut tk = TopK::new(qp.k);
+            for _ in 0..s_count {
+                let shard_answer = slots.next().expect("B·S slots").expect("pool completed")?;
+                for nb in shard_answer {
+                    tk.push(nb);
+                }
+            }
+            answers.push(tk.into_sorted());
+        }
+
+        self.metrics
+            .record_batch(queries.len() as u64, t0.elapsed().as_nanos() as u64);
+        Ok(answers)
+    }
+
+    /// Appends a new object, returning its global id. Concurrent with
+    /// searches; appends themselves are fully serialized behind one gate —
+    /// the simplest way to preserve the round-robin placement invariant.
+    /// Ingest throughput therefore does not scale with S; this engine
+    /// serves a read-heavy profile, and parallel ingest (per-shard ticket
+    /// ordering) is deliberately left to a later PR.
+    pub fn insert(&self, vector: &[f32]) -> io::Result<u64> {
+        let mut n = self.append_gate.lock();
+        let s_count = self.set.shards.len() as u64;
+        let (si, expected_local) = shard_of(*n, s_count);
+        let local = self.set.shards[si].index.write().insert(vector)?;
+        if local != expected_local {
+            // A previously failed insert left the shard's heap longer than
+            // the engine's count (HdIndex::insert appends the descriptor
+            // before the tree inserts). The shard needs a rebuild; surface
+            // an error on every write rather than panicking the process.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shard {si} drifted from round-robin placement                      (local id {local}, expected {expected_local});                      a failed earlier insert left it inconsistent"
+                ),
+            ));
+        }
+        *n += 1;
+        Ok(global_of(si, local, s_count))
+    }
+
+    /// Tombstones a global id so it is never returned again.
+    pub fn delete(&self, global_id: u64) -> io::Result<()> {
+        let n = self.append_gate.lock();
+        if global_id >= *n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("object {global_id} out of bounds ({n} stored)"),
+            ));
+        }
+        let (si, local) = shard_of(global_id, self.set.shards.len() as u64);
+        self.set.shards[si].index.write().delete(local)
+    }
+
+    /// Total objects across all shards (including tombstoned ones).
+    pub fn len(&self) -> u64 {
+        *self.append_gate.lock()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.set.shards.len()
+    }
+
+    /// Worker threads in the serving pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Engine directory (shard subdirectories live underneath).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Serving statistics: QPS, latency percentiles, aggregated IO.
+    pub fn stats(&self) -> EngineStats {
+        self.metrics.snapshot(self.set.io_stats())
+    }
+
+    /// The fleet-wide page-cache budget, when one was configured — its
+    /// `used()` never exceeds `capacity()` no matter how many pools the
+    /// shards opened.
+    pub fn cache_budget(&self) -> Option<&hd_storage::CacheBudget> {
+        self.set.budget.as_ref()
+    }
+
+    /// Resets the IO ledgers of every shard (the latency histogram and
+    /// query counters keep accumulating).
+    pub fn reset_io_stats(&self) {
+        for shard in &self.set.shards {
+            shard.index.read().reset_io_stats();
+        }
+    }
+
+    /// Total on-disk footprint across shards.
+    pub fn disk_bytes(&self) -> u64 {
+        self.set
+            .shards
+            .iter()
+            .map(|s| s.index.read().disk_bytes())
+            .sum()
+    }
+
+    /// Query-resident memory across shards (reference sets + caches). The
+    /// cache portion is capped by the shared budget when one is set.
+    pub fn memory_bytes(&self) -> usize {
+        self.set
+            .shards
+            .iter()
+            .map(|s| s.index.read().memory_bytes())
+            .sum()
+    }
+}

@@ -1,0 +1,47 @@
+//! # hd-engine — a sharded, batched, concurrent serving layer for HD-Index.
+//!
+//! The paper's headline claim is scalability: kANN over ~100M points on
+//! commodity hardware, with the τ RDB-trees parallelizing "with little
+//! synchronization" (§5.2.8, §6). This crate turns the single-query
+//! [`hd_index`] library into a query-serving *engine*:
+//!
+//! * [`shard`] — the corpus splits round-robin across S independent
+//!   HD-Index shards sharing one reference set and one page-cache budget;
+//!   global ↔ local id mapping is pure arithmetic.
+//! * [`Engine::search_batch`] — batched submission: B queries expand into
+//!   B·S shard tasks on a persistent worker pool
+//!   ([`hd_core::pool::WorkerPool`]); reference distances are computed once
+//!   per query; per-shard top-k lists exact-merge through bounded heaps.
+//! * Concurrent callers — searches take `&self`; inserts and deletes are
+//!   lock-guarded per shard and interleave with searches.
+//! * [`metrics`] — QPS, a log-linear latency [`histogram`] with
+//!   p50/p95/p99, and the aggregated IO ledger of every shard's pools.
+//!
+//! ```no_run
+//! use hd_core::dataset::{generate, DatasetProfile};
+//! use hd_engine::{Engine, EngineParams};
+//! use hd_index::{HdIndexParams, QueryParams};
+//!
+//! let profile = DatasetProfile::SIFT;
+//! let (data, queries) = generate(&profile, 10_000, 64, 42);
+//! let params = EngineParams {
+//!     shards: 4,
+//!     ..EngineParams::new(HdIndexParams::for_profile(&profile))
+//! };
+//! let engine = Engine::build(&data, &params, "/tmp/hd_engine_demo").unwrap();
+//! let batch: Vec<&[f32]> = queries.iter().collect();
+//! let answers = engine.search_batch(batch, &QueryParams::default()).unwrap();
+//! println!("{} answers, {:?}", answers.len(), engine.stats());
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod histogram;
+pub mod metrics;
+pub mod shard;
+
+pub use config::EngineParams;
+pub use engine::Engine;
+pub use histogram::LatencyHistogram;
+pub use metrics::{EngineMetrics, EngineStats};
+pub use shard::{global_of, shard_of};

@@ -1,0 +1,108 @@
+//! Engine-level serving metrics: throughput, latency percentiles, and the
+//! aggregated IO ledger of every shard's buffer pools.
+
+use crate::histogram::LatencyHistogram;
+use hd_storage::IoSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Live counters owned by an [`crate::Engine`].
+#[derive(Debug)]
+pub struct EngineMetrics {
+    started: Instant,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineMetrics {
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one completed batch of `queries` requests that all finished
+    /// after `elapsed_nanos`. Every request in the batch observed the full
+    /// batch latency (they arrived together and were answered together), so
+    /// each contributes one sample at that value.
+    pub fn record_batch(&self, queries: u64, elapsed_nanos: u64) {
+        self.queries.fetch_add(queries, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.latency.record_n(elapsed_nanos, queries);
+    }
+
+    /// The latency histogram (shared with callers that want more quantiles
+    /// than [`EngineStats`] carries).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Snapshot with the IO ledger supplied by the engine (it owns the
+    /// shards).
+    pub fn snapshot(&self, io: IoSnapshot) -> EngineStats {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        EngineStats {
+            queries,
+            batches: self.batches.load(Ordering::Relaxed),
+            qps: if elapsed > 0.0 { queries as f64 / elapsed } else { 0.0 },
+            p50_ms: self.latency.percentile(0.50) as f64 / 1e6,
+            p95_ms: self.latency.percentile(0.95) as f64 / 1e6,
+            p99_ms: self.latency.percentile(0.99) as f64 / 1e6,
+            io,
+        }
+    }
+}
+
+/// Point-in-time serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Queries answered since the engine started.
+    pub queries: u64,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Queries per second over the engine's lifetime.
+    pub qps: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// Aggregated IO counters across every shard's pools (τ+1 each).
+    pub io: IoSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_batches() {
+        let m = EngineMetrics::new();
+        m.record_batch(8, 2_000_000); // 8 queries at 2 ms
+        m.record_batch(2, 50_000_000); // 2 stragglers at 50 ms
+        let s = m.snapshot(IoSnapshot::default());
+        assert_eq!(s.queries, 10);
+        assert_eq!(s.batches, 2);
+        assert!(s.qps > 0.0);
+        // p50 in the fast mode, p99 in the slow one; histogram error ≤ ~3%.
+        assert!((s.p50_ms - 2.0).abs() / 2.0 < 0.05, "p50 {}", s.p50_ms);
+        assert!((s.p99_ms - 50.0).abs() / 50.0 < 0.05, "p99 {}", s.p99_ms);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+    }
+
+    #[test]
+    fn fresh_metrics_are_zero() {
+        let s = EngineMetrics::new().snapshot(IoSnapshot::default());
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.p99_ms, 0.0);
+    }
+}

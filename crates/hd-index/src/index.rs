@@ -11,7 +11,7 @@ use hd_core::distance::l2_sq;
 use hd_core::partition::Partitioning;
 use hd_core::topk::{Neighbor, TopK};
 use hd_hilbert::HilbertCurve;
-use hd_storage::{BufferPool, IoSnapshot, Pager, VectorHeap};
+use hd_storage::{BufferPool, CacheBudget, IoSnapshot, Pager, VectorHeap};
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -29,6 +29,24 @@ pub struct QueryTrace {
     pub physical_reads: u64,
     /// Page requests including buffer-pool hits.
     pub logical_reads: u64,
+}
+
+/// Per-tree outcome of candidate generation: surviving ids + scanned count.
+type TreeCandidates = io::Result<(Vec<u64>, usize)>;
+
+/// Optional knobs for [`HdIndex::build_with`] / [`HdIndex::open_with`]
+/// beyond [`HdIndexParams`]. The defaults reproduce [`HdIndex::build`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildOpts {
+    /// Use this reference set instead of selecting one from the data. A
+    /// sharded engine selects references over the *full* corpus once and
+    /// passes the same set to every shard, so query-to-reference distances
+    /// are computed once per query and shared across shards.
+    pub references: Option<ReferenceSet>,
+    /// Shared page-cache quota charged by all τ+1 pools of this index (and
+    /// by any other index holding a clone); per-pool capacity still comes
+    /// from `query_cache_pages`.
+    pub cache_budget: Option<CacheBudget>,
 }
 
 /// The HD-Index: τ RDB-trees over Hilbert keys plus a vector heap file.
@@ -65,6 +83,17 @@ impl HdIndex {
     /// Panics if the dataset is empty or parameters are inconsistent
     /// (τ > ν, m > n).
     pub fn build(data: &Dataset, params: &HdIndexParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::build_with(data, params, dir, BuildOpts::default())
+    }
+
+    /// [`Self::build`] with explicit [`BuildOpts`] (shared reference set,
+    /// shared cache budget) — the entry point the serving engine uses.
+    pub fn build_with(
+        data: &Dataset,
+        params: &HdIndexParams,
+        dir: impl AsRef<Path>,
+        opts: BuildOpts,
+    ) -> io::Result<Self> {
         assert!(!data.is_empty(), "cannot index an empty dataset");
         let dim = data.dim();
         assert!(params.tau <= dim, "more trees than dimensions");
@@ -73,7 +102,9 @@ impl HdIndex {
 
         // 1. Reference objects and per-object reference distances (these are
         //    the leaf payloads).
-        let refs = reference::select(data, params.num_references, params.ref_selection, params.seed);
+        let refs = opts.references.unwrap_or_else(|| {
+            reference::select(data, params.num_references, params.ref_selection, params.seed)
+        });
         let m = refs.m();
         let n = data.len();
         let mut ref_dists = vec![0.0f32; n * m];
@@ -123,7 +154,11 @@ impl HdIndex {
             entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
 
             let pager = Pager::create(dir.join(format!("tree_{g}.rdb")))?;
-            let pool = Arc::new(BufferPool::new(pager, params.query_cache_pages));
+            let pool = Arc::new(BufferPool::with_budget(
+                pager,
+                params.query_cache_pages,
+                opts.cache_budget.clone(),
+            ));
             let mut tree = BTree::create(pool, key_len, val_len)?;
             tree.bulk_load(entries, 1.0)?;
             curves.push(curve);
@@ -131,7 +166,12 @@ impl HdIndex {
         }
 
         // 4. Raw descriptors, fetched by pointer during refinement.
-        let mut heap = VectorHeap::create(dir.join("vectors.heap"), dim, params.query_cache_pages)?;
+        let mut heap = VectorHeap::create_budgeted(
+            dir.join("vectors.heap"),
+            dim,
+            params.query_cache_pages,
+            opts.cache_budget,
+        )?;
         for j in 0..n {
             heap.append(data.get(j))?;
         }
@@ -156,6 +196,15 @@ impl HdIndex {
     /// RDB-tree files, and the vector heap. Tombstones survive the round
     /// trip; the reference set is restored bit-exactly.
     pub fn open(dir: impl AsRef<Path>, query_cache_pages: usize) -> io::Result<Self> {
+        Self::open_with(dir, query_cache_pages, None)
+    }
+
+    /// [`Self::open`] with the pools charging a shared [`CacheBudget`].
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        query_cache_pages: usize,
+        cache_budget: Option<CacheBudget>,
+    ) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         let meta = crate::meta::IndexMeta::read(&dir)?;
         let partitioning = Partitioning::from_groups(meta.dim, meta.groups.clone());
@@ -169,10 +218,20 @@ impl HdIndex {
                 dir.join(format!("tree_{g}.rdb")),
                 hd_storage::DEFAULT_PAGE_SIZE,
             )?;
-            let pool = Arc::new(BufferPool::new(pager, query_cache_pages));
+            let pool = Arc::new(BufferPool::with_budget(
+                pager,
+                query_cache_pages,
+                cache_budget.clone(),
+            ));
             trees.push(BTree::open(pool)?);
         }
-        let heap = VectorHeap::open(dir.join("vectors.heap"), meta.dim, query_cache_pages, meta.n)?;
+        let heap = VectorHeap::open_budgeted(
+            dir.join("vectors.heap"),
+            meta.dim,
+            query_cache_pages,
+            meta.n,
+            cache_budget,
+        )?;
 
         let params = HdIndexParams {
             tau: meta.tau,
@@ -255,93 +314,22 @@ impl HdIndex {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
         let before = self.io_stats();
-        let m = self.refs.m();
-        let (lo, hi) = self.params.domain;
 
         // Distances from the query to all references (kept in memory; §4.4.1
         // argues the reference set always fits).
-        let mut q_dists = Vec::with_capacity(m);
+        let mut q_dists = Vec::with_capacity(self.refs.m());
         self.refs.distances_to(query, &mut q_dists);
 
         let mut candidate_ids: Vec<u64> = Vec::with_capacity(qp.gamma * self.trees.len());
         let mut scanned_total = 0usize;
-        let mut sub = Vec::new();
-        let mut ids: Vec<u64> = Vec::with_capacity(qp.alpha);
-        let mut dists_flat: Vec<f32> = Vec::with_capacity(qp.alpha * m);
-
-        for (g, tree) in self.trees.iter().enumerate() {
-            // (i) α candidates by Hilbert-key adjacency, walking outward in
-            // both directions from the query's position in the leaf chain.
-            self.partitioning.project_into(query, g, &mut sub);
-            let probe = rdb::encode_probe_key(&self.curves[g].encode_floats(&sub, lo, hi));
-            let mut fwd = tree.seek(&probe)?;
-            let mut bwd = fwd.clone();
-            bwd.retreat()?;
-
-            ids.clear();
-            dists_flat.clear();
-            fn take(cursor: &hd_btree::Cursor, ids: &mut Vec<u64>, dists: &mut Vec<f32>) {
-                ids.push(rdb::decode_id(cursor.key()));
-                rdb::decode_value_into(cursor.value(), dists);
-            }
-            while ids.len() < qp.alpha && (fwd.valid() || bwd.valid()) {
-                if fwd.valid() {
-                    take(&fwd, &mut ids, &mut dists_flat);
-                    fwd.advance()?;
-                }
-                if ids.len() < qp.alpha && bwd.valid() {
-                    take(&bwd, &mut ids, &mut dists_flat);
-                    bwd.retreat()?;
-                }
-            }
-            scanned_total += ids.len();
-
-            // (ii) Triangular filter (Eq. 5): α → β (or straight to γ when
-            // running triangular-only, the paper's "β = γ").
-            let tri_keep = match qp.filter {
-                FilterKind::TriangularOnly => qp.gamma,
-                FilterKind::TriangularPtolemaic => qp.beta,
-            };
-            let scored: Vec<(f32, u32)> = (0..ids.len())
-                .map(|i| (triangular_lb(&q_dists, &dists_flat[i * m..(i + 1) * m]), i as u32))
-                .collect();
-            let mut survivors = keep_smallest(scored, tri_keep);
-
-            // (iii) Ptolemaic filter (Eq. 6): β → γ.
-            if qp.filter == FilterKind::TriangularPtolemaic {
-                let rescored: Vec<(f32, u32)> = survivors
-                    .iter()
-                    .map(|&(_, i)| {
-                        let o = &dists_flat[i as usize * m..(i as usize + 1) * m];
-                        (ptolemaic_lb(&q_dists, o, &self.refs), i)
-                    })
-                    .collect();
-                survivors = keep_smallest(rescored, qp.gamma);
-            }
-
-            candidate_ids.extend(survivors.iter().map(|&(_, i)| ids[i as usize]));
+        for g in 0..self.trees.len() {
+            let (survivors, scanned) = self.tree_candidates(g, query, &q_dists, qp)?;
+            scanned_total += scanned;
+            candidate_ids.extend(survivors);
         }
 
         // Union across trees: C, κ = |C|.
-        candidate_ids.sort_unstable();
-        candidate_ids.dedup();
-        let kappa = candidate_ids.len();
-
-        // Final refinement: fetch full descriptors, exact distances, top-k.
-        let mut tk = TopK::new(qp.k);
-        let mut vbuf = Vec::with_capacity(self.dim);
-        for &id in &candidate_ids {
-            if self.tombstones.contains(&id) {
-                continue;
-            }
-            self.heap.get_into(id, &mut vbuf)?;
-            tk.push(Neighbor::new(id as u32, l2_sq(query, &vbuf)));
-        }
-        let mut answer = tk.into_sorted();
-        for nb in &mut answer {
-            nb.dist = nb.dist.sqrt();
-        }
-
+        let (answer, kappa) = self.refine(query, candidate_ids, qp.k)?;
         let delta = self.io_stats().since(&before);
         Ok((
             answer,
@@ -354,100 +342,161 @@ impl HdIndex {
         ))
     }
 
-    /// Parallel variant of [`Self::knn`] (§5.2.8, §6: the paper notes the
-    /// τ independent RDB-trees parallelize "with little synchronization").
-    /// Each tree's candidate-generation + filtering runs on its own thread;
-    /// the union and exact refinement stay sequential.
-    pub fn knn_parallel(&self, query: &[f32], qp: &QueryParams) -> io::Result<Vec<Neighbor>> {
-        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+    /// Steps (i)–(iii) of Algorithm 2 for one RDB-tree: fetch α candidates
+    /// by Hilbert-key adjacency (walking the leaf chain outward in both
+    /// directions from the query's position), then shrink them to γ with
+    /// the triangular — and optionally Ptolemaic — lower bound, computed
+    /// purely from the leaf-resident reference distances.
+    ///
+    /// This is the one copy of the per-tree pipeline: the sequential path
+    /// ([`Self::knn_traced`]), the pooled path ([`Self::knn_parallel`]), and
+    /// the serving engine ([`Self::knn_with_ref_dists`]) all call it.
+    ///
+    /// Returns the surviving object ids and the number of scanned entries.
+    fn tree_candidates(
+        &self,
+        g: usize,
+        query: &[f32],
+        q_dists: &[f32],
+        qp: &QueryParams,
+    ) -> io::Result<(Vec<u64>, usize)> {
         let m = self.refs.m();
         let (lo, hi) = self.params.domain;
-        let mut q_dists = Vec::with_capacity(m);
-        self.refs.distances_to(query, &mut q_dists);
-        let q_dists = &q_dists;
 
-        let per_tree: Vec<io::Result<Vec<u64>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..self.trees.len())
-                .map(|g| {
-                    s.spawn(move || -> io::Result<Vec<u64>> {
-                        let tree = &self.trees[g];
-                        let mut sub = Vec::new();
-                        self.partitioning.project_into(query, g, &mut sub);
-                        let probe =
-                            rdb::encode_probe_key(&self.curves[g].encode_floats(&sub, lo, hi));
-                        let mut fwd = tree.seek(&probe)?;
-                        let mut bwd = fwd.clone();
-                        bwd.retreat()?;
+        // (i) α candidates by Hilbert-key adjacency.
+        let mut sub = Vec::new();
+        self.partitioning.project_into(query, g, &mut sub);
+        let probe = rdb::encode_probe_key(&self.curves[g].encode_floats(&sub, lo, hi));
+        let mut fwd = self.trees[g].seek(&probe)?;
+        let mut bwd = fwd.clone();
+        bwd.retreat()?;
 
-                        let mut ids: Vec<u64> = Vec::with_capacity(qp.alpha);
-                        let mut dists_flat: Vec<f32> = Vec::with_capacity(qp.alpha * m);
-                        while ids.len() < qp.alpha && (fwd.valid() || bwd.valid()) {
-                            if fwd.valid() {
-                                ids.push(rdb::decode_id(fwd.key()));
-                                rdb::decode_value_into(fwd.value(), &mut dists_flat);
-                                fwd.advance()?;
-                            }
-                            if ids.len() < qp.alpha && bwd.valid() {
-                                ids.push(rdb::decode_id(bwd.key()));
-                                rdb::decode_value_into(bwd.value(), &mut dists_flat);
-                                bwd.retreat()?;
-                            }
-                        }
-                        let tri_keep = match qp.filter {
-                            FilterKind::TriangularOnly => qp.gamma,
-                            FilterKind::TriangularPtolemaic => qp.beta,
-                        };
-                        let scored: Vec<(f32, u32)> = (0..ids.len())
-                            .map(|i| {
-                                (
-                                    triangular_lb(q_dists, &dists_flat[i * m..(i + 1) * m]),
-                                    i as u32,
-                                )
-                            })
-                            .collect();
-                        let mut survivors = keep_smallest(scored, tri_keep);
-                        if qp.filter == FilterKind::TriangularPtolemaic {
-                            let rescored: Vec<(f32, u32)> = survivors
-                                .iter()
-                                .map(|&(_, i)| {
-                                    let o = &dists_flat[i as usize * m..(i as usize + 1) * m];
-                                    (ptolemaic_lb(q_dists, o, &self.refs), i)
-                                })
-                                .collect();
-                            survivors = keep_smallest(rescored, qp.gamma);
-                        }
-                        Ok(survivors.into_iter().map(|(_, i)| ids[i as usize]).collect())
-                    })
+        let mut ids: Vec<u64> = Vec::with_capacity(qp.alpha);
+        let mut dists_flat: Vec<f32> = Vec::with_capacity(qp.alpha * m);
+        fn take(cursor: &hd_btree::Cursor, ids: &mut Vec<u64>, dists: &mut Vec<f32>) {
+            ids.push(rdb::decode_id(cursor.key()));
+            rdb::decode_value_into(cursor.value(), dists);
+        }
+        while ids.len() < qp.alpha && (fwd.valid() || bwd.valid()) {
+            if fwd.valid() {
+                take(&fwd, &mut ids, &mut dists_flat);
+                fwd.advance()?;
+            }
+            if ids.len() < qp.alpha && bwd.valid() {
+                take(&bwd, &mut ids, &mut dists_flat);
+                bwd.retreat()?;
+            }
+        }
+        let scanned = ids.len();
+
+        // (ii) Triangular filter (Eq. 5): α → β (or straight to γ when
+        // running triangular-only, the paper's "β = γ").
+        let tri_keep = match qp.filter {
+            FilterKind::TriangularOnly => qp.gamma,
+            FilterKind::TriangularPtolemaic => qp.beta,
+        };
+        let scored: Vec<(f32, u32)> = (0..ids.len())
+            .map(|i| (triangular_lb(q_dists, &dists_flat[i * m..(i + 1) * m]), i as u32))
+            .collect();
+        let mut survivors = keep_smallest(scored, tri_keep);
+
+        // (iii) Ptolemaic filter (Eq. 6): β → γ.
+        if qp.filter == FilterKind::TriangularPtolemaic {
+            let rescored: Vec<(f32, u32)> = survivors
+                .iter()
+                .map(|&(_, i)| {
+                    let o = &dists_flat[i as usize * m..(i as usize + 1) * m];
+                    (ptolemaic_lb(q_dists, o, &self.refs), i)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("tree worker panicked"))
-                .collect()
-        });
-
-        let mut candidate_ids = Vec::with_capacity(qp.gamma * self.trees.len());
-        for r in per_tree {
-            candidate_ids.extend(r?);
+            survivors = keep_smallest(rescored, qp.gamma);
         }
+
+        Ok((
+            survivors.into_iter().map(|(_, i)| ids[i as usize]).collect(),
+            scanned,
+        ))
+    }
+
+    /// Final refinement: dedup the candidate union, fetch full descriptors,
+    /// compute exact distances, return the sorted top-k and κ = |C|.
+    fn refine(
+        &self,
+        query: &[f32],
+        mut candidate_ids: Vec<u64>,
+        k: usize,
+    ) -> io::Result<(Vec<Neighbor>, usize)> {
         candidate_ids.sort_unstable();
         candidate_ids.dedup();
-
-        let mut tk = TopK::new(qp.k);
+        let kappa = candidate_ids.len();
+        let mut tk = TopK::new(k);
         let mut vbuf = Vec::with_capacity(self.dim);
         for &id in &candidate_ids {
             if self.tombstones.contains(&id) {
                 continue;
             }
             self.heap.get_into(id, &mut vbuf)?;
-            tk.push(Neighbor::new(id as u32, l2_sq(query, &vbuf)));
+            tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
         }
         let mut answer = tk.into_sorted();
         for nb in &mut answer {
             nb.dist = nb.dist.sqrt();
         }
-        Ok(answer)
+        Ok((answer, kappa))
+    }
+
+    /// [`Self::knn`] with the query-to-reference distances supplied by the
+    /// caller. A sharded engine computes them once per query (all shards
+    /// share one reference set, see [`BuildOpts::references`]) and fans the
+    /// same slice out to every shard, amortizing the m distance kernels
+    /// that every per-tree filter depends on.
+    ///
+    /// `q_dists[i]` must be `d(query, R_i)` against exactly
+    /// [`Self::references`], in order.
+    pub fn knn_with_ref_dists(
+        &self,
+        query: &[f32],
+        q_dists: &[f32],
+        qp: &QueryParams,
+    ) -> io::Result<Vec<Neighbor>> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        assert_eq!(q_dists.len(), self.refs.m(), "reference-distance count mismatch");
+        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+        let mut candidate_ids: Vec<u64> = Vec::with_capacity(qp.gamma * self.trees.len());
+        for g in 0..self.trees.len() {
+            candidate_ids.extend(self.tree_candidates(g, query, q_dists, qp)?.0);
+        }
+        self.refine(query, candidate_ids, qp.k).map(|(answer, _)| answer)
+    }
+
+    /// Parallel variant of [`Self::knn`] (§5.2.8, §6: the paper notes the
+    /// τ independent RDB-trees parallelize "with little synchronization").
+    /// Each tree's candidate generation + filtering runs as a task on the
+    /// process-wide [`hd_core::pool`] worker pool — no OS threads are
+    /// spawned per query — while the union and exact refinement stay
+    /// sequential.
+    pub fn knn_parallel(&self, query: &[f32], qp: &QueryParams) -> io::Result<Vec<Neighbor>> {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+        let mut q_dists = Vec::with_capacity(self.refs.m());
+        self.refs.distances_to(query, &mut q_dists);
+        let q_dists = &q_dists;
+
+        let tau = self.trees.len();
+        let mut per_tree: Vec<Option<TreeCandidates>> = (0..tau).map(|_| None).collect();
+        hd_core::pool::global().run_scoped(per_tree.iter_mut().enumerate().map(|(g, slot)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                *slot = Some(self.tree_candidates(g, query, q_dists, qp));
+            });
+            (g, task)
+        }));
+
+        let mut candidate_ids = Vec::with_capacity(qp.gamma * tau);
+        for slot in per_tree {
+            let (survivors, _) = slot.expect("pool completed every tree task")?;
+            candidate_ids.extend(survivors);
+        }
+        self.refine(query, candidate_ids, qp.k).map(|(answer, _)| answer)
     }
 
     /// Inserts a new object (§3.6): append the descriptor, compute its
@@ -630,10 +679,10 @@ mod tests {
         let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
         let k = 10;
         let truth = ground_truth_knn(&data, &queries, k, 4);
-        let t_ids: Vec<Vec<u32>> = truth.iter().map(|t| ids(t)).collect();
+        let t_ids: Vec<Vec<u64>> = truth.iter().map(|t| ids(t)).collect();
 
         let run = |qp: &QueryParams| -> f64 {
-            let approx: Vec<Vec<u32>> = queries
+            let approx: Vec<Vec<u64>> = queries
                 .iter()
                 .map(|q| ids(&index.knn(q, qp).unwrap()))
                 .collect();
@@ -679,7 +728,7 @@ mod tests {
         let res = index
             .knn(&novel, &QueryParams::triangular(128, 32, 1))
             .unwrap();
-        assert_eq!(res[0].id as u64, id);
+        assert_eq!(res[0].id, id);
         assert_eq!(res[0].dist, 0.0);
         std::fs::remove_dir_all(dir).ok();
     }
@@ -692,7 +741,7 @@ mod tests {
         let qp = QueryParams::triangular(128, 32, 1);
         let target = index.knn(data.get(3), &qp).unwrap()[0];
         assert_eq!(target.dist, 0.0);
-        index.delete(target.id as u64).unwrap();
+        index.delete(target.id).unwrap();
         let after = index.knn(data.get(3), &qp).unwrap();
         assert_ne!(after[0].id, target.id, "deleted object must not reappear");
         std::fs::remove_dir_all(dir).ok();
@@ -750,7 +799,7 @@ mod tests {
         let qp = QueryParams::triangular(256, 64, 10);
         let (expected, deleted): (Vec<Vec<Neighbor>>, u64) = {
             let mut index = HdIndex::build(&data, &small_params(), &dir).unwrap();
-            let victim = index.knn(data.get(0), &qp).unwrap()[0].id as u64;
+            let victim = index.knn(data.get(0), &qp).unwrap()[0].id;
             index.delete(victim).unwrap();
             (
                 queries.iter().map(|q| index.knn(q, &qp).unwrap()).collect(),

@@ -33,5 +33,5 @@ pub mod rdb;
 pub mod reference;
 
 pub use config::{FilterKind, HdIndexParams, QueryParams, RefSelection};
-pub use index::{HdIndex, QueryTrace};
+pub use index::{BuildOpts, HdIndex, QueryTrace};
 pub use reference::ReferenceSet;

@@ -22,7 +22,7 @@ pub struct IndexMeta {
     pub m: usize,
     pub domain: (f32, f32),
     pub groups: Vec<Vec<usize>>,
-    pub ref_ids: Vec<u32>,
+    pub ref_ids: Vec<u64>,
     pub ref_vectors: Vec<Vec<f32>>,
     pub tombstones: Vec<u64>,
 }

@@ -45,7 +45,7 @@ impl ReferenceSet {
     pub fn memory_bytes(&self) -> usize {
         self.vectors.iter().map(|v| v.capacity() * 4).sum::<usize>()
             + self.pairwise.capacity() * 4
-            + self.ids.capacity() * 4
+            + self.ids.capacity() * std::mem::size_of::<ObjectId>()
     }
 
     /// Rebuilds a reference set from persisted ids and vectors, recomputing
@@ -179,7 +179,7 @@ fn select_maxmin(data: &Dataset, m: usize, sample: usize, seed: u64) -> Vec<Obje
 
 fn select_random(data: &Dataset, m: usize, seed: u64) -> Vec<ObjectId> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut ids: Vec<ObjectId> = (0..data.len() as u32).collect();
+    let mut ids: Vec<ObjectId> = (0..data.len() as ObjectId).collect();
     ids.shuffle(&mut rng);
     ids.truncate(m);
     ids

@@ -1,0 +1,108 @@
+//! A shared page-cache budget across many buffer pools.
+//!
+//! An HD-Index opens τ + 1 buffer pools (one per RDB-tree plus the heap
+//! file); a sharded serving engine opens S of those. Giving every pool its
+//! own fixed capacity multiplies the memory footprint by S·(τ+1). A
+//! [`CacheBudget`] is a cloneable handle on one global page quota: every
+//! pool charges it per cached page and a pool that cannot charge evicts one
+//! of its *own* pages instead (charge transfer), so the fleet-wide cache
+//! never exceeds the budget while eviction stays pool-local and lock-free
+//! across pools.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    used: AtomicUsize,
+}
+
+/// Cloneable handle on a shared page quota. All clones charge the same
+/// counter.
+#[derive(Debug, Clone)]
+pub struct CacheBudget {
+    inner: Arc<Inner>,
+}
+
+impl CacheBudget {
+    /// A budget of `pages` cached pages shared by every pool holding a
+    /// clone of this handle.
+    pub fn new(pages: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                capacity: pages,
+                used: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Total page quota.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Pages currently charged across all pools.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to charge one page; `false` when the quota is exhausted.
+    pub(crate) fn try_charge(&self) -> bool {
+        let mut current = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            if current >= self.inner.capacity {
+                return false;
+            }
+            match self.inner.used.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Returns `count` charged pages to the quota.
+    pub(crate) fn release(&self, count: usize) {
+        let previous = self.inner.used.fetch_sub(count, Ordering::Relaxed);
+        debug_assert!(previous >= count, "budget release underflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_up_to_capacity() {
+        let b = CacheBudget::new(2);
+        assert!(b.try_charge());
+        assert!(b.try_charge());
+        assert!(!b.try_charge());
+        assert_eq!(b.used(), 2);
+        b.release(1);
+        assert!(b.try_charge());
+        assert_eq!(b.used(), 2);
+    }
+
+    #[test]
+    fn zero_budget_rejects_everything() {
+        let b = CacheBudget::new(0);
+        assert!(!b.try_charge());
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_quota() {
+        let a = CacheBudget::new(1);
+        let b = a.clone();
+        assert!(a.try_charge());
+        assert!(!b.try_charge());
+        b.release(1);
+        assert!(b.try_charge());
+    }
+}

@@ -13,6 +13,7 @@
 //! Pages are handed out as `Arc<[u8]>` snapshots: readers never block each
 //! other, and a writer simply replaces the cached entry (write-through).
 
+use crate::budget::CacheBudget;
 use crate::page::PageId;
 use crate::pager::Pager;
 use crate::stats::{IoSnapshot, IoStats};
@@ -33,6 +34,9 @@ struct Inner {
 pub struct BufferPool {
     pager: Pager,
     capacity: usize,
+    /// Optional global quota shared with other pools; every cached page
+    /// holds one charge (invariant: charges == cache.len()).
+    budget: Option<CacheBudget>,
     inner: Mutex<Inner>,
     stats: IoStats,
 }
@@ -50,9 +54,18 @@ impl BufferPool {
     /// Wraps `pager` with an LRU cache of `capacity` pages (0 disables
     /// caching entirely — the paper's measurement mode).
     pub fn new(pager: Pager, capacity: usize) -> Self {
+        Self::with_budget(pager, capacity, None)
+    }
+
+    /// Like [`Self::new`], but every cached page also charges the shared
+    /// `budget`; when the global quota is exhausted this pool evicts one of
+    /// its own pages (charge transfer) or forgoes caching, so the sum of
+    /// cached pages across all pools sharing the budget never exceeds it.
+    pub fn with_budget(pager: Pager, capacity: usize, budget: Option<CacheBudget>) -> Self {
         Self {
             pager,
             capacity,
+            budget,
             inner: Mutex::new(Inner {
                 cache: HashMap::with_capacity(capacity.min(1 << 20)),
                 lru: VecDeque::with_capacity(capacity.min(1 << 20)),
@@ -60,6 +73,11 @@ impl BufferPool {
             }),
             stats: IoStats::new(),
         }
+    }
+
+    /// The shared budget this pool charges, if any.
+    pub fn budget(&self) -> Option<&CacheBudget> {
+        self.budget.as_ref()
     }
 
     pub fn pager(&self) -> &Pager {
@@ -152,6 +170,9 @@ impl BufferPool {
     /// Drops all cached pages (the working set survives on disk).
     pub fn clear_cache(&self) {
         let mut inner = self.inner.lock();
+        if let Some(budget) = &self.budget {
+            budget.release(inner.cache.len());
+        }
         inner.cache.clear();
         inner.lru.clear();
     }
@@ -161,25 +182,46 @@ impl BufferPool {
         self.pager.sync()
     }
 
+    /// Evicts the least-recently-used live page. Returns `false` when the
+    /// cache is empty. Does not touch the budget: callers decide whether the
+    /// freed charge is released or transferred to an incoming page.
+    fn evict_one(inner: &mut Inner) -> bool {
+        while let Some((victim, s)) = inner.lru.pop_front() {
+            let live = inner
+                .cache
+                .get(&victim)
+                .map(|(_, cur)| *cur == s)
+                .unwrap_or(false);
+            if live {
+                inner.cache.remove(&victim);
+                return true;
+            }
+        }
+        false
+    }
+
     fn install(&self, id: PageId, page: Arc<[u8]>) {
         let mut inner = self.inner.lock();
+        if let Some(budget) = &self.budget {
+            if !inner.cache.contains_key(&id) && !budget.try_charge() {
+                // Global quota exhausted: hand one of our own pages' charges
+                // to the incoming page, or forgo caching it.
+                if !Self::evict_one(&mut inner) {
+                    return;
+                }
+            }
+        }
         let stamp = inner.stamp;
         inner.stamp += 1;
         inner.cache.insert(id, (page, stamp));
         inner.lru.push_back((id, stamp));
         while inner.cache.len() > self.capacity {
-            match inner.lru.pop_front() {
-                Some((victim, s)) => {
-                    let live = inner
-                        .cache
-                        .get(&victim)
-                        .map(|(_, cur)| *cur == s)
-                        .unwrap_or(false);
-                    if live {
-                        inner.cache.remove(&victim);
-                    }
+            if Self::evict_one(&mut inner) {
+                if let Some(budget) = &self.budget {
+                    budget.release(1);
                 }
-                None => break,
+            } else {
+                break;
             }
         }
         // Bound the recency queue: lazy invalidation can let it grow past the
@@ -193,6 +235,14 @@ impl BufferPool {
                 .copied()
                 .collect();
             inner.lru = retained;
+        }
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        if let Some(budget) = &self.budget {
+            budget.release(self.inner.lock().cache.len());
         }
     }
 }
@@ -289,6 +339,86 @@ mod tests {
         pool.read(1).unwrap();
         pool.read(2).unwrap(); // eviction keeps it at capacity
         assert_eq!(pool.memory_bytes(), 128);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shared_budget_caps_total_cached_pages() {
+        let budget = crate::budget::CacheBudget::new(4);
+        let dir = std::env::temp_dir().join("hd_storage_buffer_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str| {
+            let path = dir.join(format!("{name}_{}", std::process::id()));
+            let pager = Pager::create_with_page_size(&path, 32).unwrap();
+            pager.allocate_pages(8).unwrap();
+            (BufferPool::with_budget(pager, 8, Some(budget.clone())), path)
+        };
+        let (a, pa) = mk("budget_a");
+        let (b, pb) = mk("budget_b");
+        for id in 0..8u64 {
+            a.read(id).unwrap();
+            b.read(id).unwrap();
+        }
+        // Local capacity would allow 8 + 8; the shared budget holds at 4.
+        assert!(budget.used() <= 4, "budget over-committed: {}", budget.used());
+        assert_eq!(
+            a.memory_bytes() + b.memory_bytes(),
+            budget.used() * 32,
+            "cached pages must equal charged pages"
+        );
+        // Cached reads still hit under pressure.
+        a.reset_stats();
+        for _ in 0..3 {
+            a.read(7).unwrap();
+        }
+        assert!(a.stats().physical_reads <= 1, "most-recent page should stay cached");
+        std::fs::remove_file(pa).ok();
+        std::fs::remove_file(pb).ok();
+    }
+
+    #[test]
+    fn clearing_and_dropping_release_the_budget() {
+        let budget = crate::budget::CacheBudget::new(4);
+        let dir = std::env::temp_dir().join("hd_storage_buffer_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("budget_rel_{}", std::process::id()));
+        let pager = Pager::create_with_page_size(&path, 32).unwrap();
+        pager.allocate_pages(4).unwrap();
+        let pool = BufferPool::with_budget(pager, 8, Some(budget.clone()));
+        for id in 0..4u64 {
+            pool.read(id).unwrap();
+        }
+        assert_eq!(budget.used(), 4);
+        pool.clear_cache();
+        assert_eq!(budget.used(), 0, "clear_cache must refund every charge");
+        for id in 0..2u64 {
+            pool.read(id).unwrap();
+        }
+        assert_eq!(budget.used(), 2);
+        drop(pool);
+        assert_eq!(budget.used(), 0, "drop must refund every charge");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn exhausted_budget_transfers_charges_locally() {
+        // One pool, budget 2 < local capacity 8: the pool must keep serving
+        // reads and keep at most 2 pages cached, recycling its own charges.
+        let budget = crate::budget::CacheBudget::new(2);
+        let dir = std::env::temp_dir().join("hd_storage_buffer_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("budget_xfer_{}", std::process::id()));
+        let pager = Pager::create_with_page_size(&path, 32).unwrap();
+        pager.allocate_pages(8).unwrap();
+        let pool = BufferPool::with_budget(pager, 8, Some(budget.clone()));
+        for round in 0..3 {
+            for id in 0..8u64 {
+                let _ = round;
+                pool.read(id).unwrap();
+            }
+        }
+        assert_eq!(budget.used(), 2);
+        assert_eq!(pool.memory_bytes(), 2 * 32);
         std::fs::remove_file(path).ok();
     }
 

@@ -12,6 +12,7 @@
 //! `ceil(size/page)` consecutive pages, again matching the "few sequential
 //! pages per object" behaviour of a real heap file.
 
+use crate::budget::CacheBudget;
 use crate::buffer::BufferPool;
 use crate::pager::Pager;
 use std::io;
@@ -45,9 +46,22 @@ impl VectorHeap {
     /// # Panics
     /// Panics if `dim == 0`.
     pub fn create(path: impl AsRef<Path>, dim: usize, cache_pages: usize) -> io::Result<Self> {
+        Self::create_budgeted(path, dim, cache_pages, None)
+    }
+
+    /// [`Self::create`] with the pool charging a shared [`CacheBudget`].
+    pub fn create_budgeted(
+        path: impl AsRef<Path>,
+        dim: usize,
+        cache_pages: usize,
+        budget: Option<CacheBudget>,
+    ) -> io::Result<Self> {
         assert!(dim > 0, "dimensionality must be positive");
         let pager = Pager::create(path)?;
-        Ok(Self::with_pool(Arc::new(BufferPool::new(pager, cache_pages)), dim))
+        Ok(Self::with_pool(
+            Arc::new(BufferPool::with_budget(pager, cache_pages, budget)),
+            dim,
+        ))
     }
 
     /// Reopens an existing heap file holding `len` vectors of `dim`
@@ -58,9 +72,20 @@ impl VectorHeap {
         cache_pages: usize,
         len: u64,
     ) -> io::Result<Self> {
+        Self::open_budgeted(path, dim, cache_pages, len, None)
+    }
+
+    /// [`Self::open`] with the pool charging a shared [`CacheBudget`].
+    pub fn open_budgeted(
+        path: impl AsRef<Path>,
+        dim: usize,
+        cache_pages: usize,
+        len: u64,
+        budget: Option<CacheBudget>,
+    ) -> io::Result<Self> {
         assert!(dim > 0, "dimensionality must be positive");
         let pager = Pager::open(path, crate::page::DEFAULT_PAGE_SIZE)?;
-        let pool = Arc::new(BufferPool::new(pager, cache_pages));
+        let pool = Arc::new(BufferPool::with_budget(pager, cache_pages, budget));
         let mut heap = Self::with_pool(pool, dim);
         let needed_pages = if heap.per_page > 0 {
             len.div_ceil(heap.per_page as u64)

@@ -12,14 +12,18 @@
 //!   reproduces the paper's cache-off measurements.
 //! * [`heap`] — a paged heap file of raw vectors, the "complete object
 //!   descriptors" that step (iii) of the query algorithm fetches by pointer.
+//! * [`budget`] — a shared page-cache quota so a fleet of pools (τ trees ×
+//!   S shards) runs under one memory ceiling.
 //! * [`stats`] — logical/physical access counters shared across components.
 
+pub mod budget;
 pub mod buffer;
 pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod stats;
 
+pub use budget::CacheBudget;
 pub use buffer::BufferPool;
 pub use heap::VectorHeap;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};

@@ -17,13 +17,13 @@ fn main() -> std::io::Result<()> {
     let profile = DatasetProfile::SIFT;
     let (data, queries) = generate(&profile, 10_000, 30, 11);
     let truth = ground_truth_knn(&data, &queries, 10, 4);
-    let truth_ids: Vec<Vec<u32>> = truth.iter().map(|t| ids(t)).collect();
+    let truth_ids: Vec<Vec<u64>> = truth.iter().map(|t| ids(t)).collect();
     let base = HdIndexParams::for_profile(&profile);
     let scratch = std::env::temp_dir().join("hd_index_tuning");
 
     let evaluate = |index: &HdIndex, qp: &QueryParams| -> (f64, std::time::Duration) {
         let t0 = std::time::Instant::now();
-        let approx: Vec<Vec<u32>> = queries
+        let approx: Vec<Vec<u64>> = queries
             .iter()
             .map(|q| ids(&index.knn(q, qp).expect("query IO")))
             .collect();

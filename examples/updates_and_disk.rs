@@ -35,14 +35,14 @@ fn main() -> std::io::Result<()> {
     let id = index.insert(&novel)?;
     let hit = index.knn(&novel, &qp)?[0];
     println!("inserted object {id}; self-query returns id {} at distance {}", hit.id, hit.dist);
-    assert_eq!(hit.id as u64, id);
+    assert_eq!(hit.id, id);
 
     // Delete: tombstoned, never returned again.
     println!("\n-- deletes --");
     index.delete(id)?;
     let after = index.knn(&novel, &qp)?[0];
     println!("after delete, nearest is id {} at distance {:.3}", after.id, after.dist);
-    assert_ne!(after.id as u64, id);
+    assert_ne!(after.id, id);
 
     // The index survives on disk; file sizes match the paper's accounting.
     println!("\n-- on-disk layout --");

@@ -7,6 +7,7 @@
 //! * [`hd_hilbert`] — Hilbert space-filling curve for arbitrary η and ω.
 //! * [`hd_btree`] — disk-resident B+-tree.
 //! * [`hd_index`] — the paper's contribution: RDB-trees + distance filters.
+//! * [`hd_engine`] — sharded, batched, concurrent query-serving engine.
 //! * [`hd_baselines`] — iDistance, Multicurves, C2LSH, QALSH, SRS, PQ/OPQ,
 //!   HNSW, linear scan.
 //! * [`hd_app`] — Borda-count image search (paper §5.5).
@@ -18,6 +19,7 @@ pub use hd_app;
 pub use hd_baselines;
 pub use hd_btree;
 pub use hd_core;
+pub use hd_engine;
 pub use hd_hilbert;
 pub use hd_index;
 pub use hd_storage;

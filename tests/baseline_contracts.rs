@@ -118,7 +118,7 @@ fn persistence_through_facade_with_inserts() {
     let hit = reopened
         .knn(&novel, &QueryParams::triangular(512, 128, 1))
         .unwrap()[0];
-    assert_eq!(hit.id as u64, id, "inserted object lost across reopen");
+    assert_eq!(hit.id, id, "inserted object lost across reopen");
     assert_eq!(hit.dist, 0.0);
     std::fs::remove_dir_all(dir).ok();
 }

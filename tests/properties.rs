@@ -67,9 +67,9 @@ proptest! {
         }
         // Every returned distance must be ≤ the distance of any non-member.
         let worst = res.last().unwrap().dist;
-        let member: std::collections::HashSet<u32> = res.iter().map(|n| n.id).collect();
+        let member: std::collections::HashSet<u64> = res.iter().map(|n| n.id).collect();
         for i in 0..data.len() {
-            if !member.contains(&(i as u32)) {
+            if !member.contains(&(i as u64)) {
                 prop_assert!(l2(&q, data.get(i)) >= worst - 1e-3 * (1.0 + worst));
             }
         }
@@ -78,8 +78,8 @@ proptest! {
     /// AP@k is 1 exactly when every returned id is relevant from rank 1
     /// onward, 0 when nothing is relevant, and within [0, 1] always.
     #[test]
-    fn average_precision_bounds(perm in proptest::sample::subsequence((0u32..30).collect::<Vec<_>>(), 1..10)) {
-        let truth: Vec<u32> = (0..perm.len() as u32).collect();
+    fn average_precision_bounds(perm in proptest::sample::subsequence((0u64..30).collect::<Vec<_>>(), 1..10)) {
+        let truth: Vec<u64> = (0..perm.len() as u64).collect();
         let ap = average_precision(&truth, &perm);
         prop_assert!((0.0..=1.0).contains(&ap));
         let perfect = average_precision(&truth, &truth);
@@ -92,7 +92,7 @@ proptest! {
     fn ratio_reflexive_and_bounded(dists in proptest::collection::vec(0.1f32..100.0, 1..10)) {
         let mut sorted = dists.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let truth: Vec<Neighbor> = sorted.iter().enumerate().map(|(i, &d)| Neighbor::new(i as u32, d)).collect();
+        let truth: Vec<Neighbor> = sorted.iter().enumerate().map(|(i, &d)| Neighbor::new(i as u64, d)).collect();
         prop_assert!((approximation_ratio(&truth, &truth) - 1.0).abs() < 1e-9);
         // Any reordering scored against the sorted truth is ≥ 1: the i-th
         // true distance is the minimum possible at rank i.

@@ -31,7 +31,7 @@ fn tiny_index_agrees_with_linear_scan() {
         // Approximate search must agree with ground truth on at least one of
         // the true top-10 (on 500 points with α=128 it recovers far more;
         // ≥ 1 keeps the canary robust while still catching wiring bugs).
-        let exact_ids: std::collections::HashSet<u32> = exact.iter().map(|n| n.id).collect();
+        let exact_ids: std::collections::HashSet<u64> = exact.iter().map(|n| n.id).collect();
         let hits = approx.iter().filter(|n| exact_ids.contains(&n.id)).count();
         assert!(
             hits >= 1,

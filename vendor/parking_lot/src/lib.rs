@@ -92,3 +92,46 @@ mod tests {
         assert_eq!(*m.lock(), 1);
     }
 }
+
+/// Condition variable paired with [`Mutex`]. Because this stub's
+/// [`MutexGuard`] *is* `std::sync::MutexGuard`, waiting follows std's
+/// ownership-passing signature (`wait` consumes and returns the guard)
+/// rather than parking_lot's `&mut` one; poisoning is unwrapped away like
+/// everywhere else in this stub.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Blocks until notified, releasing the lock while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until `condition` returns `false` (std's `wait_while`).
+    pub fn wait_while<'a, T, F>(&self, guard: MutexGuard<'a, T>, condition: F) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        self.0
+            .wait_while(guard, condition)
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
