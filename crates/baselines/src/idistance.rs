@@ -12,7 +12,7 @@
 //! result is exact (MAP = 1 by construction, Fig. 8).
 
 use hd_core::dataset::Dataset;
-use hd_core::distance::{l2, l2_sq};
+use hd_core::distance::{l2, l2_sq_bounded};
 use hd_core::kmeans::kmeans;
 use hd_core::topk::{Neighbor, TopK};
 use hd_btree::BTree;
@@ -189,7 +189,10 @@ impl IDistance {
             }
             // Exactness: every unexamined point has |d(p,c) − d(q,c)| > r,
             // hence d(p,q) > r; if the k-th best ≤ r nothing can improve.
-            if tk.len() == k && (tk.bound() as f64) <= r {
+            // `tk.bound()` is the *squared* k-th distance, so it compares
+            // against r² — comparing against r would terminate too early
+            // (and lose exactness) whenever distances are below 1.
+            if tk.len() == k && (tk.bound() as f64) <= r * r {
                 break;
             }
             if total_examined >= n && left_done.iter().all(|&b| b) && right_done.iter().all(|&b| b)
@@ -207,7 +210,10 @@ impl IDistance {
     }
 
     /// Scans B+-tree keys in `[from, to]` (scalar key space), refining every
-    /// hit with an exact distance.
+    /// hit with an exact distance. Refinement uses the bounded kernel
+    /// against the running k-th radius: points provably outside the top-k
+    /// are abandoned mid-evaluation without affecting exactness (only
+    /// points a full evaluation would also reject are abandoned).
     fn scan_range(
         &self,
         query: &[f32],
@@ -227,7 +233,11 @@ impl IDistance {
             }
             let id = u64::from_le_bytes(cur.value().try_into().expect("8-byte value"));
             self.heap.get_into(id, vbuf)?;
-            tk.push(Neighbor::new(id, l2_sq(query, vbuf)));
+            let bound = tk.bound();
+            let d = l2_sq_bounded(query, vbuf, bound);
+            if d <= bound {
+                tk.push(Neighbor::new(id, d));
+            }
             *examined += 1;
             cur.advance()?;
         }
@@ -336,6 +346,46 @@ mod tests {
             assert_eq!(
                 got.iter().map(|n| n.id).collect::<Vec<_>>(),
                 want.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exactness_on_sub_unit_distances() {
+        // All pairwise distances < 1: the radius-vs-squared-bound
+        // termination check must compare r² (comparing r terminates the
+        // expansion too early and silently loses exactness here).
+        let (raw, raw_q) = generate(&DatasetProfile::GLOVE, 600, 6, 8);
+        let scale = 1.0e-3f32;
+        let mut data = Dataset::new(raw.dim());
+        for p in raw.iter() {
+            let s: Vec<f32> = p.iter().map(|x| x * scale).collect();
+            data.push(&s);
+        }
+        let mut queries = Dataset::new(raw.dim());
+        for q in raw_q.iter() {
+            let s: Vec<f32> = q.iter().map(|x| x * scale).collect();
+            queries.push(&s);
+        }
+        let dir = test_dir("subunit");
+        let idx = IDistance::build(
+            &data,
+            IDistanceParams {
+                partitions: 8,
+                cache_pages: 64,
+                ..Default::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        for q in queries.iter() {
+            let got = idx.knn(q, 5).unwrap();
+            let want = knn_exact(&data, q, 5);
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                "iDistance lost exactness on sub-unit distances"
             );
         }
         std::fs::remove_dir_all(dir).ok();

@@ -1,16 +1,22 @@
 //! In-memory kd-tree with best-first *incremental* nearest-neighbor search
 //! (Hjaltason & Samet). SRS uses this to enumerate its 6-dimensional
 //! projected points in strictly increasing projected distance.
+//!
+//! Points are stored **leaf-contiguous**: after the recursive median build,
+//! the point table is permuted so every leaf owns one flat row-major block,
+//! scored in a single [`l2_sq_batch`] sweep (original ids are carried in a
+//! side table, so the public API still speaks caller ids).
 
-use hd_core::distance::l2_sq;
+use hd_core::distance::l2_sq_batch;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 #[derive(Debug)]
 enum Node {
     Leaf {
-        /// Indices into the point table.
-        items: Vec<u32>,
+        /// Row range `[start, end)` in the leaf-contiguous point table.
+        start: u32,
+        end: u32,
     },
     Split {
         axis: usize,
@@ -24,7 +30,12 @@ enum Node {
 #[derive(Debug)]
 pub struct KdTree {
     dim: usize,
-    points: Vec<f32>, // row-major
+    /// Row-major, permuted so each leaf's rows are contiguous.
+    points: Vec<f32>,
+    /// Row → original (caller) id.
+    ids: Vec<u32>,
+    /// Original id → row.
+    rows: Vec<u32>,
     root: Node,
     len: usize,
 }
@@ -41,19 +52,29 @@ impl KdTree {
         assert_eq!(points.len() % dim, 0, "ragged input");
         let n = points.len() / dim;
         let mut idx: Vec<u32> = (0..n as u32).collect();
-        let root = Self::build_node(dim, &points, &mut idx, 0);
+        let root = Self::build_node(dim, &points, &mut idx, 0, 0);
+        // Permute rows into leaf order so leaves are flat blocks.
+        let mut reordered = Vec::with_capacity(points.len());
+        let mut rows = vec![0u32; n];
+        for (row, &id) in idx.iter().enumerate() {
+            reordered.extend_from_slice(&points[id as usize * dim..(id as usize + 1) * dim]);
+            rows[id as usize] = row as u32;
+        }
         Self {
             dim,
-            points,
+            points: reordered,
+            ids: idx,
+            rows,
             root,
             len: n,
         }
     }
 
-    fn build_node(dim: usize, pts: &[f32], idx: &mut [u32], depth: usize) -> Node {
+    fn build_node(dim: usize, pts: &[f32], idx: &mut [u32], depth: usize, offset: usize) -> Node {
         if idx.len() <= LEAF_SIZE {
             return Node::Leaf {
-                items: idx.to_vec(),
+                start: offset as u32,
+                end: (offset + idx.len()) as u32,
             };
         }
         let axis = depth % dim;
@@ -68,8 +89,8 @@ impl KdTree {
         Node::Split {
             axis,
             value,
-            left: Box::new(Self::build_node(dim, pts, lo, depth + 1)),
-            right: Box::new(Self::build_node(dim, pts, hi, depth + 1)),
+            left: Box::new(Self::build_node(dim, pts, lo, depth + 1, offset)),
+            right: Box::new(Self::build_node(dim, pts, hi, depth + 1, offset + mid)),
         }
     }
 
@@ -81,13 +102,18 @@ impl KdTree {
         self.len == 0
     }
 
+    /// The point originally inserted as row `id` of the input table.
     pub fn point(&self, id: u32) -> &[f32] {
-        &self.points[id as usize * self.dim..(id as usize + 1) * self.dim]
+        let row = self.rows[id as usize] as usize;
+        &self.points[row * self.dim..(row + 1) * self.dim]
     }
 
-    /// Heap bytes held by the tree (points + topology estimate).
+    /// Heap bytes held by the tree (points + id maps + topology estimate).
     pub fn memory_bytes(&self) -> usize {
-        self.points.capacity() * 4 + self.len * 8
+        self.points.capacity() * 4
+            + self.ids.capacity() * 4
+            + self.rows.capacity() * 4
+            + self.len * 8
     }
 
     /// Begins an incremental NN traversal from `query`.
@@ -97,6 +123,7 @@ impl KdTree {
             tree: self,
             query: query.to_vec(),
             heap: BinaryHeap::new(),
+            scratch: Vec::with_capacity(LEAF_SIZE),
         };
         it.heap.push(HeapItem {
             dist: 0.0,
@@ -145,6 +172,8 @@ pub struct IncrementalNn<'a> {
     tree: &'a KdTree,
     query: Vec<f32>,
     heap: BinaryHeap<HeapItem<'a>>,
+    /// Reusable per-leaf distance buffer for the batch kernel.
+    scratch: Vec<f32>,
 }
 
 impl Iterator for IncrementalNn<'_> {
@@ -155,12 +184,18 @@ impl Iterator for IncrementalNn<'_> {
             match kind {
                 ItemKind::Point(id) => return Some((id, dist)),
                 ItemKind::Node(node, bounds) => match node {
-                    Node::Leaf { items } => {
-                        for &id in items {
-                            let d = l2_sq(&self.query, self.tree.point(id));
+                    Node::Leaf { start, end } => {
+                        // The leaf's rows are one contiguous block: score
+                        // them in a single batched sweep (bit-identical to
+                        // per-point `l2_sq`).
+                        let (s, e) = (*start as usize, *end as usize);
+                        let dim = self.tree.dim;
+                        let block = &self.tree.points[s * dim..e * dim];
+                        l2_sq_batch(&self.query, block, &mut self.scratch);
+                        for (r, &d) in self.scratch.iter().enumerate() {
                             self.heap.push(HeapItem {
                                 dist: d,
-                                kind: ItemKind::Point(id),
+                                kind: ItemKind::Point(self.tree.ids[s + r]),
                             });
                         }
                     }
@@ -212,6 +247,7 @@ impl Iterator for IncrementalNn<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hd_core::distance::l2_sq;
     use rand::{Rng, SeedableRng};
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<f32> {
@@ -266,6 +302,19 @@ mod tests {
         all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let expect: Vec<u32> = all[..10].iter().map(|&(_, i)| i).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn point_lookup_survives_leaf_reordering() {
+        let pts = random_points(200, 3, 5);
+        let tree = KdTree::build(3, pts.clone());
+        for id in 0..200u32 {
+            assert_eq!(
+                tree.point(id),
+                &pts[id as usize * 3..(id as usize + 1) * 3],
+                "id {id} lost its point in the leaf permutation"
+            );
+        }
     }
 
     #[test]

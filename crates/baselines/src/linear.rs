@@ -6,7 +6,7 @@
 //! per page of data — the cost profile the VA-file line of work assumes.
 
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq;
+use hd_core::distance::l2_sq_bounded;
 use hd_core::topk::{Neighbor, TopK};
 use hd_storage::VectorHeap;
 use std::io;
@@ -24,10 +24,19 @@ impl<'a> LinearScan<'a> {
     }
 
     /// Exact k nearest neighbors, distances in true L2.
+    ///
+    /// Scanning rides the bounded kernel: once the top-k heap is full, a
+    /// point whose partial distance exceeds the current k-th radius is
+    /// abandoned mid-evaluation. Exactness is unaffected — the kernel only
+    /// abandons points a full evaluation would also have rejected.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         let mut tk = TopK::new(k.min(self.data.len()).max(1));
         for (i, p) in self.data.iter().enumerate() {
-            tk.push(Neighbor::new(i as u64, l2_sq(query, p)));
+            let bound = tk.bound();
+            let d = l2_sq_bounded(query, p, bound);
+            if d <= bound {
+                tk.push(Neighbor::new(i as u64, d));
+            }
         }
         let mut out = tk.into_sorted();
         for n in &mut out {
@@ -59,14 +68,19 @@ impl DiskLinearScan {
         Ok(Self { heap })
     }
 
-    /// Exact k nearest neighbors, reading every vector from disk.
+    /// Exact k nearest neighbors, reading every vector from disk (scored
+    /// with the bounded kernel, same exactness argument as [`LinearScan`]).
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
         let n = self.heap.len();
         let mut tk = TopK::new(k.min(n as usize).max(1));
         let mut buf = Vec::with_capacity(self.heap.dim());
         for id in 0..n {
             self.heap.get_into(id, &mut buf)?;
-            tk.push(Neighbor::new(id, l2_sq(query, &buf)));
+            let bound = tk.bound();
+            let d = l2_sq_bounded(query, &buf, bound);
+            if d <= bound {
+                tk.push(Neighbor::new(id, d));
+            }
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {

@@ -6,7 +6,7 @@
 //! relative to disk methods (the trade Fig. 8 illustrates).
 
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq;
+use hd_core::distance::{l2_sq, l2_sq_bounded};
 use hd_core::kmeans::kmeans;
 use hd_core::topk::{Neighbor, TopK};
 use rand::seq::SliceRandom;
@@ -171,16 +171,27 @@ impl Pq {
 
     /// ADC kNN scan over the encoded database. Distances are *estimates*
     /// (query-to-reconstruction), which is PQ's source of approximation.
+    ///
+    /// The lookup accumulation abandons early against the running k-th
+    /// estimate: the per-subspace terms are non-negative, so a partial sum
+    /// already beyond the bound can only grow, and the entry could not have
+    /// entered the top-k anyway — same shortlist, fewer table lookups.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         let lut = self.build_lut(query);
         let mut tk = TopK::new(k.min(self.n).max(1));
         for i in 0..self.n {
             let code = &self.codes[i * self.msub..(i + 1) * self.msub];
+            let bound = tk.bound();
             let mut d = 0.0f32;
             for (s, &c) in code.iter().enumerate() {
                 d += lut[s][c as usize];
+                if d > bound {
+                    break;
+                }
             }
-            tk.push(Neighbor::new(i as u64, d));
+            if d <= bound {
+                tk.push(Neighbor::new(i as u64, d));
+            }
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {
@@ -199,7 +210,11 @@ impl Pq {
         let shortlist = self.knn(query, (k * expand.max(1)).min(self.n));
         let mut tk = TopK::new(k.min(self.n).max(1));
         for c in shortlist {
-            tk.push(Neighbor::new(c.id, l2_sq(query, data.get(c.id as usize))));
+            let bound = tk.bound();
+            let d = l2_sq_bounded(query, data.get(c.id as usize), bound);
+            if d <= bound {
+                tk.push(Neighbor::new(c.id, d));
+            }
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {

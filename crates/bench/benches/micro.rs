@@ -33,15 +33,33 @@ fn bench_hilbert(c: &mut Criterion) {
 }
 
 fn bench_distance(c: &mut Criterion) {
+    use hd_core::distance::{l2_sq, l2_sq_batch, l2_sq_bounded};
     let mut g = c.benchmark_group("distance");
     g.sample_size(50);
     for dim in [128usize, 512, 1369] {
         let a: Vec<f32> = (0..dim).map(|i| i as f32 * 0.31).collect();
         let b_: Vec<f32> = (0..dim).map(|i| (dim - i) as f32 * 0.17).collect();
         g.bench_function(format!("l2_sq_{dim}d"), |b| {
-            b.iter(|| hd_core::distance::l2_sq(black_box(&a), black_box(&b_)))
+            b.iter(|| l2_sq(black_box(&a), black_box(&b_)))
+        });
+        // Tight bound (1/16 of the true distance): the early-abandon case
+        // the refinement pipeline hits once its top-k radius stabilizes.
+        let tight = l2_sq(&a, &b_) / 16.0;
+        g.bench_function(format!("l2_sq_bounded_tight_{dim}d"), |b| {
+            b.iter(|| l2_sq_bounded(black_box(&a), black_box(&b_), black_box(tight)))
+        });
+        // Infinite bound: the full-evaluation overhead of the bound checks.
+        g.bench_function(format!("l2_sq_bounded_full_{dim}d"), |b| {
+            b.iter(|| l2_sq_bounded(black_box(&a), black_box(&b_), f32::INFINITY))
         });
     }
+    // One heap page of SIFT vectors (8 × 128d), the refinement block shape.
+    let q: Vec<f32> = (0..128).map(|i| i as f32 * 0.31).collect();
+    let block: Vec<f32> = (0..8 * 128).map(|i| (i % 251) as f32 * 0.5).collect();
+    let mut out = Vec::with_capacity(8);
+    g.bench_function("l2_sq_batch_8x128d", |b| {
+        b.iter(|| l2_sq_batch(black_box(&q), black_box(&block), &mut out))
+    });
     g.finish();
 }
 

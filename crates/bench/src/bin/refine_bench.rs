@@ -1,0 +1,152 @@
+//! Refinement micro-bench: the blocked, early-abandoning pipeline against
+//! the per-id path (`get_into` + full `l2_sq`) that `HdIndex::refine` used
+//! before. The blocked side is *the* production loop —
+//! [`hd_index::score_candidates_blocked`], the same function `HdIndex`
+//! refines with — so this gate cannot drift from the real hot path.
+//!
+//! The workload mirrors Algorithm 2 step (iv) at the paper's operating
+//! point: SIFT-like descriptors (d = 128), κ deduped candidates per query
+//! spread across the heap, caches off so every page request is a physical
+//! read — the exact regime where refinement dominates query cost (§4.4.1).
+//! Both paths must produce identical top-k answers; the blocked path must
+//! not be slower, and the binary exits nonzero if it is (or if the bounded
+//! kernel stops truly abandoning evaluations early), so CI (running at
+//! `--scale 0.01`) gates the optimization against silent regression.
+
+use hd_bench::BenchConfig;
+use hd_core::dataset::{generate, DatasetProfile};
+use hd_core::distance::l2_sq;
+use hd_core::topk::{Neighbor, TopK};
+use hd_index::score_candidates_blocked;
+use hd_storage::VectorHeap;
+use std::time::Instant;
+
+/// The old refinement inner loop: one heap fetch + one full distance per id.
+fn refine_per_id(heap: &VectorHeap, query: &[f32], ids: &[u64], k: usize) -> Vec<Neighbor> {
+    let mut tk = TopK::new(k);
+    let mut vbuf = Vec::with_capacity(heap.dim());
+    for &id in ids {
+        heap.get_into(id, &mut vbuf).expect("heap read");
+        tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+    }
+    tk.into_sorted()
+}
+
+/// The blocked pipeline, via the shared production loop. Returns the
+/// answer plus (evals, abandoned).
+fn refine_blocked(
+    heap: &VectorHeap,
+    query: &[f32],
+    ids: &[u64],
+    k: usize,
+    arena: &mut Vec<f32>,
+) -> (Vec<Neighbor>, usize, usize) {
+    let mut tk = TopK::new(k);
+    let (evals, abandoned) =
+        score_candidates_blocked(heap, query, ids, &mut tk, arena).expect("heap block read");
+    (tk.into_sorted(), evals, abandoned)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let n = cfg.n(20_000);
+    let k = 10usize;
+    // κ per query: the paper's recommended operating point (α = 4096,
+    // γ = 1024, τ = 8 → κ ∈ [γ, τ·γ]); ≥ 1000 at full scale.
+    let kappa = (n / 5).clamp(50, 4096);
+    let nq = cfg.nq(32).clamp(8, 64);
+    let (data, queries) = generate(&DatasetProfile::SIFT, n, nq, cfg.seed);
+    let scratch = cfg.scratch("refine_bench");
+
+    // Caches off: the paper's measurement mode, and the default the index
+    // queries under — every page request is a physical read.
+    let mut heap = VectorHeap::create(scratch.join("vectors.heap"), data.dim(), 0).expect("heap");
+    for p in data.iter() {
+        heap.append(p).expect("append");
+    }
+
+    // Candidate sets: κ distinct sorted ids per query, uniformly random
+    // over the heap the way a multi-tree candidate union is (heap placement
+    // is dataset order, uncorrelated with Hilbert order).
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let cands: Vec<Vec<u64>> = (0..nq)
+        .map(|qi| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (qi as u64) << 8);
+            let mut all: Vec<u64> = (0..n as u64).collect();
+            all.shuffle(&mut rng);
+            all.truncate(kappa);
+            all.sort_unstable();
+            all
+        })
+        .collect();
+
+    // Correctness first: both paths must agree bit for bit.
+    let mut arena = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let a = refine_per_id(&heap, q, &cands[qi], k);
+        let (b, _, _) = refine_blocked(&heap, q, &cands[qi], k, &mut arena);
+        assert_eq!(a, b, "blocked refinement diverged on query {qi}");
+    }
+
+    // Enough repetitions to dwarf timer noise at tiny CI scales.
+    let reps = (2_000_000 / (nq * kappa)).clamp(3, 200);
+
+    heap.pool().reset_stats();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for (qi, q) in queries.iter().enumerate() {
+            std::hint::black_box(refine_per_id(&heap, q, &cands[qi], k));
+        }
+    }
+    let per_id_secs = t0.elapsed().as_secs_f64();
+    let per_id_reads = heap.pool().stats().physical_reads;
+
+    let (mut evals, mut abandoned) = (0usize, 0usize);
+    heap.pool().reset_stats();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for (qi, q) in queries.iter().enumerate() {
+            let (ans, e, a) = refine_blocked(&heap, q, &cands[qi], k, &mut arena);
+            std::hint::black_box(ans);
+            evals += e;
+            abandoned += a;
+        }
+    }
+    let blocked_secs = t0.elapsed().as_secs_f64();
+    let blocked_reads = heap.pool().stats().physical_reads;
+
+    let refinements = (reps * nq) as f64;
+    let speedup = per_id_secs / blocked_secs;
+    let abandon_rate = abandoned as f64 / evals as f64;
+    println!(
+        "refine_bench: n={n} d={} κ≈{kappa} k={k} ({nq} queries × {reps} reps)",
+        data.dim()
+    );
+    println!(
+        "  per-id path : {:>8.2} µs/refinement, {:>6.1} page reads/refinement",
+        1e6 * per_id_secs / refinements,
+        per_id_reads as f64 / refinements
+    );
+    println!(
+        "  blocked path: {:>8.2} µs/refinement, {:>6.1} page reads/refinement, \
+         {:.1}% evals abandoned early",
+        1e6 * blocked_secs / refinements,
+        blocked_reads as f64 / refinements,
+        100.0 * abandon_rate
+    );
+    println!("  speedup: {speedup:.2}x");
+
+    std::fs::remove_dir_all(scratch).ok();
+    if abandon_rate <= 0.0 {
+        eprintln!("FAIL: bounded kernel never abandoned an evaluation (κ ≫ k workload)");
+        std::process::exit(1);
+    }
+    if speedup < 1.0 {
+        eprintln!(
+            "FAIL: blocked refinement ({blocked_secs:.3}s) slower than per-id \
+             ({per_id_secs:.3}s) — the hot-path optimization regressed"
+        );
+        std::process::exit(1);
+    }
+}

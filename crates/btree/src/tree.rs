@@ -680,6 +680,49 @@ mod tests {
     }
 
     #[test]
+    fn seek_past_end_leaves_fwd_invalid_but_bwd_reaches_last() {
+        // The RDB candidate walk seeds a fwd/bwd cursor pair from one seek;
+        // a probe key greater than every stored key must leave the forward
+        // cursor invalid (normalize_forward finds no right sibling) while a
+        // clone retreats onto the last entry and keeps walking backwards.
+        let (pool, path) = fresh_pool("pastend", 256, 64);
+        let mut t = BTree::create(pool, 8, 4).unwrap();
+        t.bulk_load((0..500u64).map(|i| (key8(i), val4(i))), 1.0).unwrap();
+
+        let mut fwd = t.seek(&key8(u64::MAX)).unwrap();
+        assert!(!fwd.valid(), "no entry >= probe");
+        let mut bwd = fwd.clone();
+        assert!(bwd.retreat().unwrap(), "bwd must land on the last entry");
+        assert_eq!(bwd.key(), key8(499).as_slice());
+        assert_eq!(bwd.value(), val4(499).as_slice());
+
+        // fwd stays exhausted while bwd crosses page boundaries backwards —
+        // exactly the state the leaf walk sees at the right edge of the key
+        // space.
+        assert!(!fwd.advance().unwrap());
+        for i in 1..=100u64 {
+            assert!(bwd.retreat().unwrap());
+            assert_eq!(bwd.key(), key8(499 - i).as_slice());
+        }
+        assert!(!fwd.valid());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn seek_past_end_single_entry_tree() {
+        let (pool, path) = fresh_pool("pastend1", 256, 16);
+        let mut t = BTree::create(pool, 8, 4).unwrap();
+        t.insert(&key8(7), &val4(7)).unwrap();
+        let fwd = t.seek(&key8(8)).unwrap();
+        assert!(!fwd.valid());
+        let mut bwd = fwd.clone();
+        assert!(bwd.retreat().unwrap());
+        assert_eq!(bwd.key(), key8(7).as_slice());
+        assert!(!bwd.retreat().unwrap(), "nothing before the only entry");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn exhausted_direction_stays_invalid() {
         let (pool, path) = fresh_pool("exhaust", 256, 16);
         let mut t = BTree::create(pool, 8, 4).unwrap();

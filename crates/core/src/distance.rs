@@ -4,10 +4,54 @@
 //! (the paper's distance function, §2.1). Squared distances are used for
 //! comparisons wherever possible — `sqrt` is monotone, so rankings are
 //! unaffected — and converted to true distances only at API boundaries.
+//!
+//! Three kernels back the refinement hot path (Algorithm 2 step (iv), the
+//! dominant CPU+IO cost of a query):
+//!
+//! * [`l2_sq`] — one-to-one, the baseline everything else must agree with.
+//! * [`l2_sq_batch`] — one-to-many over a flat row-major candidate block,
+//!   the shape produced by page-granular heap fetches and kd-tree leaves.
+//! * [`l2_sq_bounded`] — partial-distance evaluation that abandons once the
+//!   running sum exceeds a caller-supplied bound (the current top-k radius).
+//!
+//! **Bounded-kernel contract.** `l2_sq_bounded(a, b, bound)` returns the
+//! exact squared distance whenever that value is `<= bound`; any returned
+//! value `> bound` means the evaluation may have been abandoned early and is
+//! only a *lower bound* on the true squared distance. Because the partial
+//! sums are monotone non-decreasing (each term is non-negative and IEEE
+//! addition is monotone), an evaluation is never abandoned while the exact
+//! result could still be `<= bound` — so a candidate rejected by the bounded
+//! kernel is exactly a candidate a full evaluation would have rejected, and
+//! results are bit-identical to the unbounded path.
+//!
+//! All kernels accumulate in the same eight-lane chunked order and reduce
+//! lanes left-to-right, so full evaluations agree *bitwise* across kernels.
+//! The chunked loops are plain safe Rust that LLVM auto-vectorizes; no
+//! `unsafe`, no platform intrinsics.
+
+/// Accumulator width of the chunked kernels (eight f32 lanes — two SSE or
+/// one AVX2 register worth, a clean auto-vectorization target).
+const LANES: usize = 8;
+
+/// How many 8-lane chunks [`l2_sq_bounded`] processes between bound checks
+/// (32 dimensions). Checking every chunk would serialize the lanes through
+/// a horizontal reduction; every fourth chunk keeps the check cost ~3%.
+const BOUND_CHECK_CHUNKS: usize = 4;
+
+/// The one lane-reduction order used by every kernel in this module: fixed
+/// left-to-right, so full evaluations are bit-identical across kernels.
+#[inline]
+fn reduce(acc: &[f32; LANES]) -> f32 {
+    let mut s = 0.0f32;
+    for &lane in acc {
+        s += lane;
+    }
+    s
+}
 
 /// Squared Euclidean distance between two equal-length vectors.
 ///
-/// The four-way unrolled accumulation gives LLVM a clean auto-vectorization
+/// The eight-way unrolled accumulation gives LLVM a clean auto-vectorization
 /// target without `unsafe` or platform intrinsics.
 ///
 /// # Panics
@@ -16,21 +60,96 @@
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
     let n = a.len().min(b.len());
-    let (chunks, rem) = (n / 4, n % 4);
-    let mut acc = [0.0f32; 4];
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let base = c * LANES;
+        for (lane, slot) in acc.iter_mut().enumerate() {
             let d = a[base + lane] - b[base + lane];
-            acc[lane] += d * d;
+            *slot += d * d;
         }
     }
     let mut tail = 0.0f32;
-    for i in (n - rem)..n {
+    for i in chunks * LANES..n {
         let d = a[i] - b[i];
         tail += d * d;
     }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    reduce(&acc) + tail
+}
+
+/// Bounded partial-distance evaluation: squared L2 distance, abandoning the
+/// scan once the running sum strictly exceeds `bound`.
+///
+/// Contract (see module docs): the result is the exact squared distance
+/// whenever it is `<= bound`; a result `> bound` only lower-bounds the true
+/// distance. Pass `f32::INFINITY` to force a full (exact) evaluation —
+/// useful while a top-k heap is not yet full.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn l2_sq_bounded(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    l2_sq_bounded_traced(a, b, bound).0
+}
+
+/// [`l2_sq_bounded`] that also reports whether the evaluation was truly
+/// abandoned *early*: the returned flag is `true` iff the kernel exited
+/// with dimensions still unprocessed (arithmetic actually saved). A full
+/// evaluation whose final sum merely exceeds `bound` returns `false` — it
+/// did all the work. Kernels shorter than one 8-lane chunk can never
+/// abandon. This is the honest numerator of a pruning-rate metric.
+#[inline]
+pub fn l2_sq_bounded_traced(a: &[f32], b: &[f32], bound: f32) -> (f32, bool) {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let rem = n % LANES;
+    let mut acc = [0.0f32; LANES];
+    let mut c = 0usize;
+    while c < chunks {
+        let stop = (c + BOUND_CHECK_CHUNKS).min(chunks);
+        while c < stop {
+            let base = c * LANES;
+            for (lane, slot) in acc.iter_mut().enumerate() {
+                let d = a[base + lane] - b[base + lane];
+                *slot += d * d;
+            }
+            c += 1;
+        }
+        let partial = reduce(&acc);
+        if partial > bound {
+            // Lower bound only; "early" iff dimensions remain unprocessed.
+            return (partial, c < chunks || rem > 0);
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..n {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    (reduce(&acc) + tail, false)
+}
+
+/// One-to-many squared distances from `query` to every row of a flat
+/// row-major `block` (`block.len()` must be a multiple of `query.len()`).
+///
+/// `out` is cleared and filled with one distance per row, each bit-identical
+/// to `l2_sq(query, row)`. This is the scoring shape of a page-granular heap
+/// fetch or a kd-tree leaf: one contiguous candidate block, scored in one
+/// cache-friendly sweep.
+///
+/// # Panics
+/// Panics if `query` is empty or `block` is ragged.
+#[inline]
+pub fn l2_sq_batch(query: &[f32], block: &[f32], out: &mut Vec<f32>) {
+    let d = query.len();
+    assert!(d > 0, "empty query");
+    assert_eq!(block.len() % d, 0, "ragged candidate block");
+    out.clear();
+    out.reserve(block.len() / d);
+    for row in block.chunks_exact(d) {
+        out.push(l2_sq(query, row));
+    }
 }
 
 /// Euclidean (L2) distance between two equal-length vectors.
@@ -112,5 +231,106 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn vectors(dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..dim)
+            .map(|i| ((i as u64 * 37 + seed * 11) % 251) as f32 * 0.5)
+            .collect();
+        let b: Vec<f32> = (0..dim)
+            .map(|i| ((i as u64 * 73 + seed * 29) % 241) as f32 * 0.25)
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn bounded_with_infinite_bound_is_bitwise_l2_sq() {
+        for dim in [1usize, 7, 8, 64, 128, 131, 1369] {
+            let (a, b) = vectors(dim, dim as u64);
+            assert_eq!(
+                l2_sq_bounded(&a, &b, f32::INFINITY),
+                l2_sq(&a, &b),
+                "dim {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_is_exact_when_result_at_most_bound() {
+        for dim in [32usize, 128, 500] {
+            let (a, b) = vectors(dim, 3);
+            let exact = l2_sq(&a, &b);
+            // Bound exactly at the true distance: never abandoned (the
+            // partial sums are monotone and only strictly-greater aborts),
+            // result bit-identical.
+            assert_eq!(l2_sq_bounded(&a, &b, exact), exact, "dim {dim}");
+            assert_eq!(l2_sq_bounded(&a, &b, exact * 2.0), exact, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn bounded_abandons_with_lower_bound_result() {
+        let (a, b) = vectors(1024, 9);
+        let exact = l2_sq(&a, &b);
+        let (got, early) = l2_sq_bounded_traced(&a, &b, exact * 0.01);
+        // Abandoned: the result exceeds the bound and lower-bounds the truth.
+        assert!(got > exact * 0.01);
+        assert!(got <= exact, "partial sum {got} exceeds exact {exact}");
+        assert!(early, "a 1/100 bound on 1024 dims must abandon early");
+        assert_eq!(got, l2_sq_bounded(&a, &b, exact * 0.01));
+    }
+
+    #[test]
+    fn traced_flag_is_false_whenever_all_dims_were_processed() {
+        // Completed evaluations — under, at, or over the bound — report
+        // early = false: no arithmetic was saved.
+        let (a, b) = vectors(128, 4);
+        let exact = l2_sq(&a, &b);
+        assert_eq!(l2_sq_bounded_traced(&a, &b, f32::INFINITY), (exact, false));
+        assert_eq!(l2_sq_bounded_traced(&a, &b, exact), (exact, false));
+        // Sub-chunk vectors (dim < 8) have no check points at all: the
+        // kernel mathematically cannot abandon, whatever the bound.
+        let (c, d) = vectors(5, 6);
+        let (v, early) = l2_sq_bounded_traced(&c, &d, 0.0);
+        assert_eq!(v, l2_sq(&c, &d));
+        assert!(!early, "dim < 8 can never abandon early");
+    }
+
+    #[test]
+    fn bounded_zero_bound_on_identical_vectors_is_exact_zero() {
+        let a = vec![2.5f32; 96];
+        // dist == bound == 0: must not be treated as abandoned by a caller
+        // comparing `result <= bound`.
+        assert_eq!(l2_sq_bounded(&a, &a, 0.0), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_per_row_kernel_bitwise() {
+        let dim = 128;
+        let (q, _) = vectors(dim, 1);
+        let mut block = Vec::new();
+        let mut rows = Vec::new();
+        for r in 0..11u64 {
+            let (row, _) = vectors(dim, 100 + r);
+            block.extend_from_slice(&row);
+            rows.push(row);
+        }
+        let mut out = Vec::new();
+        l2_sq_batch(&q, &block, &mut out);
+        assert_eq!(out.len(), rows.len());
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(out[r], l2_sq(&q, row), "row {r}");
+        }
+        // Reuse clears the previous contents.
+        l2_sq_batch(&q, &block[..dim], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn batch_on_empty_block_yields_nothing() {
+        let q = vec![1.0f32; 16];
+        let mut out = vec![3.0f32];
+        l2_sq_batch(&q, &[], &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -31,7 +31,7 @@ pub mod topk;
 pub mod util;
 
 pub use dataset::{Dataset, DatasetProfile};
-pub use distance::{l2, l2_sq};
+pub use distance::{l2, l2_sq, l2_sq_batch, l2_sq_bounded, l2_sq_bounded_traced};
 pub use ground_truth::ground_truth_knn;
 pub use metrics::{approximation_ratio, average_precision, mean_average_precision, recall_at_k};
 pub use topk::{Neighbor, TopK};

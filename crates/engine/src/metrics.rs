@@ -4,31 +4,23 @@
 use crate::histogram::LatencyHistogram;
 use hd_storage::IoSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Live counters owned by an [`crate::Engine`].
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct EngineMetrics {
-    started: Instant,
     queries: AtomicU64,
     batches: AtomicU64,
+    /// Summed batch latencies — the engine's *busy* serving time. QPS is
+    /// computed against this, not wall-clock since construction, so idle
+    /// gaps (between benchmark phases, overnight, …) do not decay the
+    /// reported throughput toward zero.
+    busy_nanos: AtomicU64,
     latency: LatencyHistogram,
-}
-
-impl Default for EngineMetrics {
-    fn default() -> Self {
-        Self::new()
-    }
 }
 
 impl EngineMetrics {
     pub fn new() -> Self {
-        Self {
-            started: Instant::now(),
-            queries: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
-        }
+        Self::default()
     }
 
     /// Records one completed batch of `queries` requests that all finished
@@ -38,6 +30,7 @@ impl EngineMetrics {
     pub fn record_batch(&self, queries: u64, elapsed_nanos: u64) {
         self.queries.fetch_add(queries, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(elapsed_nanos, Ordering::Relaxed);
         self.latency.record_n(elapsed_nanos, queries);
     }
 
@@ -51,11 +44,16 @@ impl EngineMetrics {
     /// shards).
     pub fn snapshot(&self, io: IoSnapshot) -> EngineStats {
         let queries = self.queries.load(Ordering::Relaxed);
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let busy_secs = self.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
         EngineStats {
             queries,
             batches: self.batches.load(Ordering::Relaxed),
-            qps: if elapsed > 0.0 { queries as f64 / elapsed } else { 0.0 },
+            qps: if busy_secs > 0.0 {
+                queries as f64 / busy_secs
+            } else {
+                0.0
+            },
+            busy_secs,
             p50_ms: self.latency.percentile(0.50) as f64 / 1e6,
             p95_ms: self.latency.percentile(0.95) as f64 / 1e6,
             p99_ms: self.latency.percentile(0.99) as f64 / 1e6,
@@ -71,8 +69,15 @@ pub struct EngineStats {
     pub queries: u64,
     /// Batches submitted.
     pub batches: u64,
-    /// Queries per second over the engine's lifetime.
+    /// Steady-state queries per second: lifetime queries divided by *busy*
+    /// time (summed batch latencies), so idle wall-clock gaps do not bleed
+    /// the number toward zero. When batches overlap on many caller threads
+    /// the busy denominators overlap too, making this a conservative
+    /// (lower-bound) estimate; callers wanting windowed throughput can diff
+    /// [`Self::queries`] / [`Self::busy_secs`] between two snapshots.
     pub qps: f64,
+    /// Cumulative busy serving time in seconds (the QPS denominator).
+    pub busy_secs: f64,
     pub p50_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
@@ -104,5 +109,22 @@ mod tests {
         let s = EngineMetrics::new().snapshot(IoSnapshot::default());
         assert_eq!(s.queries, 0);
         assert_eq!(s.p99_ms, 0.0);
+        assert_eq!(s.qps, 0.0);
+        assert_eq!(s.busy_secs, 0.0);
+    }
+
+    #[test]
+    fn qps_is_busy_time_based_and_immune_to_idle_gaps() {
+        let m = EngineMetrics::new();
+        // 100 queries served in exactly 1 s of busy time. However long the
+        // process then idles before the snapshot, QPS must stay 100.
+        m.record_batch(100, 1_000_000_000);
+        let s = m.snapshot(IoSnapshot::default());
+        assert!((s.qps - 100.0).abs() < 1e-9, "qps {}", s.qps);
+        assert!((s.busy_secs - 1.0).abs() < 1e-12);
+        // A second phase at a different rate averages over busy time only.
+        m.record_batch(300, 1_000_000_000);
+        let s = m.snapshot(IoSnapshot::default());
+        assert!((s.qps - 200.0).abs() < 1e-9, "qps {}", s.qps);
     }
 }

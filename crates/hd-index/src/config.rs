@@ -133,6 +133,26 @@ impl QueryParams {
             filter: FilterKind::TriangularPtolemaic,
         }
     }
+
+    /// Panics on degenerate parameters. Every query entry point calls this:
+    /// `k`, `α`, and `γ` must be positive, and in
+    /// [`FilterKind::TriangularPtolemaic`] mode `β ≥ γ` — the triangular
+    /// stage feeds β survivors into the Ptolemaic cut, so `β = 0` would
+    /// yield zero candidates and `β < γ` silently caps survivors at β.
+    pub fn validate(&self) {
+        assert!(
+            self.k > 0 && self.alpha > 0 && self.gamma > 0,
+            "degenerate query params"
+        );
+        if self.filter == FilterKind::TriangularPtolemaic {
+            assert!(
+                self.beta >= self.gamma,
+                "beta ({}) must be >= gamma ({}) in the Ptolemaic pipeline",
+                self.beta,
+                self.gamma
+            );
+        }
+    }
 }
 
 /// RDB-tree leaf order Ω per the paper's Eq. (4):
@@ -172,6 +192,32 @@ mod tests {
         assert_eq!(qp.alpha / qp.gamma, 4);
         assert_eq!(qp.k, 100);
         assert_eq!(qp.filter, FilterKind::TriangularOnly);
+    }
+
+    #[test]
+    fn validate_accepts_the_convenience_constructors() {
+        QueryParams::triangular(256, 64, 10).validate();
+        QueryParams::ptolemaic(256, 128, 64, 10).validate();
+        // β = γ is the paper's triangular-only framing and stays legal.
+        QueryParams::ptolemaic(256, 64, 64, 10).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "beta (0) must be >= gamma")]
+    fn validate_rejects_zero_beta_in_ptolemaic_mode() {
+        QueryParams::ptolemaic(256, 0, 64, 10).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "beta (32) must be >= gamma (64)")]
+    fn validate_rejects_beta_below_gamma() {
+        QueryParams::ptolemaic(256, 32, 64, 10).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate query params")]
+    fn validate_rejects_zero_k() {
+        QueryParams::triangular(256, 64, 0).validate();
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::rdb;
 use crate::reference::{self, ReferenceSet};
 use hd_btree::BTree;
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq;
+use hd_core::distance::l2_sq_bounded_traced;
 use hd_core::partition::Partitioning;
 use hd_core::topk::{Neighbor, TopK};
 use hd_hilbert::HilbertCurve;
@@ -29,10 +29,73 @@ pub struct QueryTrace {
     pub physical_reads: u64,
     /// Page requests including buffer-pool hits.
     pub logical_reads: u64,
+    /// Exact-distance evaluations attempted during refinement (κ minus
+    /// tombstoned candidates).
+    pub refine_evals: usize,
+    /// Refinement evaluations the bounded kernel abandoned before touching
+    /// every dimension — the arithmetic saved by the running top-k bound.
+    /// `refine_abandoned / refine_evals` is the query's pruning rate.
+    pub refine_abandoned: usize,
 }
 
 /// Per-tree outcome of candidate generation: surviving ids + scanned count.
 type TreeCandidates = io::Result<(Vec<u64>, usize)>;
+
+/// Counters produced by [`HdIndex::refine`], feeding [`QueryTrace`].
+#[derive(Debug, Clone, Copy, Default)]
+struct RefineStats {
+    /// Final candidate-set size κ = |C| (after dedup, before tombstones).
+    kappa: usize,
+    /// Distance evaluations attempted (κ minus tombstoned candidates).
+    evals: usize,
+    /// Evaluations abandoned early by the bounded kernel.
+    abandoned: usize,
+}
+
+/// The blocked, early-abandoning scoring loop of the refinement pipeline —
+/// the single definition shared by [`HdIndex`]'s refine step and the
+/// `refine_bench` regression gate, so CI exercises exactly the code the
+/// index runs.
+///
+/// Walks sorted candidate `ids` in heap-page runs, fetches each run once
+/// into the reusable `arena` ([`VectorHeap::get_block_into`]), and scores
+/// every vector with the bounded kernel against `tk`'s running radius.
+/// Returns `(evals, abandoned)`: distance evaluations attempted, and those
+/// truly abandoned before touching every dimension.
+pub fn score_candidates_blocked(
+    heap: &VectorHeap,
+    query: &[f32],
+    ids: &[u64],
+    tk: &mut TopK,
+    arena: &mut Vec<f32>,
+) -> io::Result<(usize, usize)> {
+    let dim = heap.dim();
+    let (mut evals, mut abandoned) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < ids.len() {
+        // One block per heap page: [i, j) are the candidates resident on
+        // the page holding ids[i] (ids are sorted, so pages arrive in
+        // sequential order).
+        let page = heap.page_of(ids[i]);
+        let mut j = i + 1;
+        while j < ids.len() && heap.page_of(ids[j]) == page {
+            j += 1;
+        }
+        let block = &ids[i..j];
+        heap.get_block_into(block, arena)?;
+        for (bi, &id) in block.iter().enumerate() {
+            let bound = tk.bound();
+            let (d, early) = l2_sq_bounded_traced(query, &arena[bi * dim..(bi + 1) * dim], bound);
+            evals += 1;
+            abandoned += usize::from(early);
+            if d <= bound {
+                tk.push(Neighbor::new(id, d));
+            }
+        }
+        i = j;
+    }
+    Ok((evals, abandoned))
+}
 
 /// Optional knobs for [`HdIndex::build_with`] / [`HdIndex::open_with`]
 /// beyond [`HdIndexParams`]. The defaults reproduce [`HdIndex::build`].
@@ -312,7 +375,7 @@ impl HdIndex {
     /// quantities for this query.
     pub fn knn_traced(&self, query: &[f32], qp: &QueryParams) -> io::Result<(Vec<Neighbor>, QueryTrace)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+        qp.validate();
         let before = self.io_stats();
 
         // Distances from the query to all references (kept in memory; §4.4.1
@@ -329,15 +392,17 @@ impl HdIndex {
         }
 
         // Union across trees: C, κ = |C|.
-        let (answer, kappa) = self.refine(query, candidate_ids, qp.k)?;
+        let (answer, stats) = self.refine(query, candidate_ids, qp.k)?;
         let delta = self.io_stats().since(&before);
         Ok((
             answer,
             QueryTrace {
                 scanned: scanned_total,
-                kappa,
+                kappa: stats.kappa,
                 physical_reads: delta.physical_reads,
                 logical_reads: delta.logical_reads,
+                refine_evals: stats.evals,
+                refine_abandoned: stats.abandoned,
             },
         ))
     }
@@ -363,7 +428,11 @@ impl HdIndex {
         let m = self.refs.m();
         let (lo, hi) = self.params.domain;
 
-        // (i) α candidates by Hilbert-key adjacency.
+        // (i) α candidates by Hilbert-key adjacency. Tombstoned entries are
+        // skipped *here*, not during refinement: a deleted object must not
+        // consume one of the α scan slots (nor, downstream, a γ survivor
+        // slot), or delete-heavy workloads silently shrink the effective
+        // candidate budget and recall decays.
         let mut sub = Vec::new();
         self.partitioning.project_into(query, g, &mut sub);
         let probe = rdb::encode_probe_key(&self.curves[g].encode_floats(&sub, lo, hi));
@@ -373,10 +442,15 @@ impl HdIndex {
 
         let mut ids: Vec<u64> = Vec::with_capacity(qp.alpha);
         let mut dists_flat: Vec<f32> = Vec::with_capacity(qp.alpha * m);
-        fn take(cursor: &hd_btree::Cursor, ids: &mut Vec<u64>, dists: &mut Vec<f32>) {
-            ids.push(rdb::decode_id(cursor.key()));
+        let tombstones = &self.tombstones;
+        let take = |cursor: &hd_btree::Cursor, ids: &mut Vec<u64>, dists: &mut Vec<f32>| {
+            let id = rdb::decode_id(cursor.key());
+            if tombstones.contains(&id) {
+                return;
+            }
+            ids.push(id);
             rdb::decode_value_into(cursor.value(), dists);
-        }
+        };
         while ids.len() < qp.alpha && (fwd.valid() || bwd.valid()) {
             if fwd.valid() {
                 take(&fwd, &mut ids, &mut dists_flat);
@@ -418,31 +492,52 @@ impl HdIndex {
         ))
     }
 
-    /// Final refinement: dedup the candidate union, fetch full descriptors,
-    /// compute exact distances, return the sorted top-k and κ = |C|.
+    /// Final refinement, as a blocked, early-abandoning pipeline (Algorithm
+    /// 2 step (iv), the dominant IO+CPU cost of a query): dedup the
+    /// candidate union, walk it in heap-page order fetching each page's
+    /// resident candidates once into a reusable arena
+    /// ([`VectorHeap::get_block_into`]), and score every vector with the
+    /// bounded kernel against the running top-k radius
+    /// ([`l2_sq_bounded`]) — κ random point reads become sequential
+    /// page-granular reads, and candidates that cannot enter the top-k are
+    /// abandoned mid-evaluation.
+    ///
+    /// Results are bit-identical to the naive per-id path: sorting by id
+    /// *is* sorting by heap page (ids are append-ordered), so candidates
+    /// are visited in the same order, and the bounded kernel only abandons
+    /// evaluations whose exact distance a full computation would also have
+    /// rejected (see the `hd_core::distance` contract).
     fn refine(
         &self,
         query: &[f32],
         mut candidate_ids: Vec<u64>,
         k: usize,
-    ) -> io::Result<(Vec<Neighbor>, usize)> {
+    ) -> io::Result<(Vec<Neighbor>, RefineStats)> {
         candidate_ids.sort_unstable();
         candidate_ids.dedup();
         let kappa = candidate_ids.len();
-        let mut tk = TopK::new(k);
-        let mut vbuf = Vec::with_capacity(self.dim);
-        for &id in &candidate_ids {
-            if self.tombstones.contains(&id) {
-                continue;
-            }
-            self.heap.get_into(id, &mut vbuf)?;
-            tk.push(Neighbor::new(id, l2_sq(query, &vbuf)));
+        // Normally a no-op: tree_candidates already drops tombstoned ids.
+        // Kept as the last line of defense so refine never resurrects a
+        // delete (e.g. candidates supplied by a future external caller).
+        if !self.tombstones.is_empty() {
+            candidate_ids.retain(|id| !self.tombstones.contains(id));
         }
+        let mut tk = TopK::new(k);
+        let mut arena: Vec<f32> = Vec::new();
+        let (evals, abandoned) =
+            score_candidates_blocked(&self.heap, query, &candidate_ids, &mut tk, &mut arena)?;
         let mut answer = tk.into_sorted();
         for nb in &mut answer {
             nb.dist = nb.dist.sqrt();
         }
-        Ok((answer, kappa))
+        Ok((
+            answer,
+            RefineStats {
+                kappa,
+                evals,
+                abandoned,
+            },
+        ))
     }
 
     /// [`Self::knn`] with the query-to-reference distances supplied by the
@@ -461,7 +556,7 @@ impl HdIndex {
     ) -> io::Result<Vec<Neighbor>> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         assert_eq!(q_dists.len(), self.refs.m(), "reference-distance count mismatch");
-        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+        qp.validate();
         let mut candidate_ids: Vec<u64> = Vec::with_capacity(qp.gamma * self.trees.len());
         for g in 0..self.trees.len() {
             candidate_ids.extend(self.tree_candidates(g, query, q_dists, qp)?.0);
@@ -477,7 +572,7 @@ impl HdIndex {
     /// sequential.
     pub fn knn_parallel(&self, query: &[f32], qp: &QueryParams) -> io::Result<Vec<Neighbor>> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        assert!(qp.k > 0 && qp.alpha > 0 && qp.gamma > 0, "degenerate query params");
+        qp.validate();
         let mut q_dists = Vec::with_capacity(self.refs.m());
         self.refs.distances_to(query, &mut q_dists);
         let q_dists = &q_dists;
@@ -714,6 +809,37 @@ mod tests {
         // With caches off, every logical read is physical.
         assert_eq!(trace.physical_reads, trace.logical_reads);
         assert!(trace.physical_reads > 0);
+        // No deletes: every deduped candidate gets a distance evaluation,
+        // and with κ ≫ k the bounded kernel must abandon a healthy share.
+        assert_eq!(trace.refine_evals, trace.kappa);
+        assert!(
+            trace.refine_abandoned > 0,
+            "κ = {} candidates for k = {} with zero early abandons",
+            trace.kappa,
+            qp.k
+        );
+        assert!(trace.refine_abandoned < trace.refine_evals);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn saturated_query_is_bit_identical_to_exact_scan() {
+        // α = γ = n: every tree surfaces every object, so the blocked,
+        // early-abandoning refinement must reproduce the exact linear scan
+        // bit for bit — same ids, same distances. This is the contract the
+        // per-id refinement path satisfied before it was blocked.
+        let n = 800;
+        let (data, queries) = generate(&DatasetProfile::SIFT, n, 8, 14);
+        let dir = test_dir("bit_identical");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let qp = QueryParams::triangular(n, n, 10);
+        for q in queries.iter() {
+            assert_eq!(
+                index.knn(q, &qp).unwrap(),
+                hd_core::ground_truth::knn_exact(&data, q, 10),
+                "blocked refinement diverged from the exact scan"
+            );
+        }
         std::fs::remove_dir_all(dir).ok();
     }
 

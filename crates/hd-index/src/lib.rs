@@ -33,5 +33,5 @@ pub mod rdb;
 pub mod reference;
 
 pub use config::{FilterKind, HdIndexParams, QueryParams, RefSelection};
-pub use index::{BuildOpts, HdIndex, QueryTrace};
+pub use index::{score_candidates_blocked, BuildOpts, HdIndex, QueryTrace};
 pub use reference::ReferenceSet;
