@@ -14,6 +14,7 @@ use hd_core::topk::{Neighbor, TopK};
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters (paper §5: M = 10; ef defaults follow the HNSW paper's
 /// recommendations).
@@ -278,16 +279,27 @@ impl Hnsw {
         selected
     }
 
-    /// kANN search (HNSW Alg. 5).
+    /// kANN search (HNSW Alg. 5) at the build-time `ef_search`.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.knn_with_ef(query, k, self.params.ef_search)
+    }
+
+    /// [`Self::knn`] with a per-call dynamic candidate list size `ef`
+    /// (floored at `k`, as the original algorithm requires, and capped at
+    /// the graph size — the dynamic list can never hold more than n nodes).
+    pub fn knn_with_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim, "dimensionality mismatch");
+        let k = k.min(self.nodes.len());
+        if k == 0 {
+            return Vec::new();
+        }
         let mut ep = self.entry;
         for layer in (1..=self.top_layer).rev() {
             ep = self.greedy_closest(query, ep, layer);
         }
-        let ef = self.params.ef_search.max(k);
+        let ef = ef.max(k).min(self.nodes.len());
         let found = self.search_layer(query, &[ep], ef, 0);
-        let mut tk = TopK::new(k.min(self.nodes.len()).max(1));
+        let mut tk = TopK::new(k);
         for (d, id) in found {
             tk.push(Neighbor::new(u64::from(id), d));
         }
@@ -300,6 +312,10 @@ impl Hnsw {
 
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     pub fn is_empty(&self) -> bool {
@@ -320,6 +336,29 @@ impl Hnsw {
                         .sum::<usize>()
                 })
                 .sum::<usize>()
+    }
+}
+
+
+impl AnnIndex for Hnsw {
+    fn len(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `candidates` overrides the dynamic list size `ef` (default: the
+    /// build-time `ef_search`, floored at 2k — the paper's §5 operating
+    /// point); `refine` does not apply.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> std::io::Result<SearchOutput> {
+        let ef = req.candidates.unwrap_or_else(|| self.params.ef_search.max(2 * req.k));
+        Ok(SearchOutput::from_neighbors(self.knn_with_ef(query, req.k, ef)))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::in_memory(self.memory_bytes())
     }
 }
 

@@ -20,6 +20,7 @@ use hd_storage::{BufferPool, IoSnapshot, Pager, VectorHeap};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Order-preserving 8-byte encoding of a non-negative `f64` key.
 fn f64_key(v: f64) -> [u8; 8] {
@@ -136,7 +137,10 @@ impl IDistance {
     /// Exact kNN by radius expansion.
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
         let n = self.heap.len() as usize;
-        let k = k.min(n).max(1);
+        let k = k.min(n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let mut tk = TopK::new(k);
         let q_dists: Vec<f64> = self.centers.iter().map(|c| l2(query, c) as f64).collect();
 
@@ -148,8 +152,17 @@ impl IDistance {
         let mut lo_edge: Vec<f64> = q_dists.clone();
         let mut hi_edge: Vec<f64> = q_dists.clone();
 
-        let mut r = self.params.initial_r * self.diameter;
-        let dr = (self.params.delta_r * self.diameter).max(f64::EPSILON);
+        let mut scale = self.diameter;
+        if scale <= 0.0 {
+            // Every point coincides with its centroid (n = 1, or all
+            // duplicates): the r += Δr crawl would step by ~ε and never
+            // reach the data. Expand on the query-to-center scale instead;
+            // exactness is independent of the step size — termination still
+            // requires the k-th distance to be proven ≤ r.
+            scale = q_dists.iter().fold(0.0f64, |a, &b| a.max(b)).max(1.0);
+        }
+        let mut r = self.params.initial_r * scale;
+        let dr = (self.params.delta_r * scale).max(f64::EPSILON);
         let mut vbuf = Vec::with_capacity(self.heap.dim());
         let mut total_examined = 0usize;
 
@@ -252,6 +265,10 @@ impl IDistance {
         self.heap.is_empty()
     }
 
+    pub fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+
     pub fn disk_bytes(&self) -> u64 {
         self.tree.disk_bytes() + self.heap.disk_bytes()
     }
@@ -287,6 +304,36 @@ impl IDistance {
     }
 }
 
+
+impl AnnIndex for IDistance {
+    fn len(&self) -> u64 {
+        self.heap.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+
+    /// Exact search; the budget knobs do not apply (radius expansion runs
+    /// to proof of exactness).
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: self.build_memory_bytes(self.heap.len() as usize, self.heap.dim()),
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        IDistance::reset_io_stats(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +347,23 @@ mod tests {
             .join(format!("{name}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn degenerate_diameter_terminates() {
+        // n = 1 (the sole point IS its centroid, diameter 0) used to make
+        // the radius expansion crawl by f64::EPSILON per round — an
+        // effectively infinite loop. It must answer (exactly) instead.
+        let (data, queries) = generate(&DatasetProfile::SIFT, 1, 2, 13);
+        let dir = test_dir("degenerate");
+        let idx = IDistance::build(&data, IDistanceParams::default(), &dir).unwrap();
+        for q in queries.iter() {
+            let got = idx.knn(q, 3).unwrap();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].id, 0);
+            assert_eq!(got, knn_exact(&data, q, 1));
+        }
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! scored in a single [`l2_sq_batch`] sweep (original ids are carried in a
 //! side table, so the public API still speaks caller ids).
 
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
+use hd_core::dataset::Dataset;
 use hd_core::distance::l2_sq_batch;
+use hd_core::topk::{Neighbor, TopK};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::io;
 
 #[derive(Debug)]
 enum Node {
@@ -43,17 +47,16 @@ pub struct KdTree {
 const LEAF_SIZE: usize = 16;
 
 impl KdTree {
-    /// Builds by recursive median splits (axes cycled by depth).
-    ///
-    /// # Panics
-    /// Panics if `points` is empty or not a multiple of `dim`.
-    pub fn build(dim: usize, points: Vec<f32>) -> Self {
-        assert!(dim > 0 && !points.is_empty(), "empty input");
-        assert_eq!(points.len() % dim, 0, "ragged input");
-        let n = points.len() / dim;
+    /// Builds by recursive median splits (axes cycled by depth). An empty
+    /// dataset yields an empty (but queryable) tree.
+    pub fn build(data: &Dataset) -> Self {
+        let dim = data.dim();
+        let points = data.as_flat();
+        let n = data.len();
         let mut idx: Vec<u32> = (0..n as u32).collect();
-        let root = Self::build_node(dim, &points, &mut idx, 0, 0);
-        // Permute rows into leaf order so leaves are flat blocks.
+        let root = Self::build_node(dim, points, &mut idx, 0, 0);
+        // Permute rows into leaf order so leaves are flat blocks — the only
+        // owned copy of the point table the tree keeps.
         let mut reordered = Vec::with_capacity(points.len());
         let mut rows = vec![0u32; n];
         for (row, &id) in idx.iter().enumerate() {
@@ -244,10 +247,43 @@ impl Iterator for IncrementalNn<'_> {
     }
 }
 
+impl AnnIndex for KdTree {
+    fn len(&self) -> u64 {
+        self.len as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Exact search by incremental-NN enumeration; ties at the k-th
+    /// distance are resolved by id through the [`TopK`] ordering. The
+    /// budget knobs do not apply.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        let mut tk = TopK::new(req.k);
+        for (id, d2) in self.incremental_nn(query) {
+            if tk.len() == req.k && d2 > tk.bound() {
+                break;
+            }
+            tk.push(Neighbor::new(u64::from(id), d2));
+        }
+        let mut out = tk.into_sorted();
+        for nb in &mut out {
+            nb.dist = nb.dist.sqrt();
+        }
+        Ok(SearchOutput::from_neighbors(out))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::in_memory(self.memory_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hd_core::distance::l2_sq;
+    use hd_core::dataset::Dataset;
     use rand::{Rng, SeedableRng};
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<f32> {
@@ -258,7 +294,7 @@ mod tests {
     #[test]
     fn incremental_order_is_nondecreasing() {
         let pts = random_points(500, 6, 1);
-        let tree = KdTree::build(6, pts);
+        let tree = KdTree::build(&Dataset::from_flat(6, pts));
         let q = vec![0.5f32; 6];
         let mut prev = -1.0f32;
         let mut count = 0;
@@ -274,7 +310,7 @@ mod tests {
     fn first_yield_is_true_nearest() {
         for seed in 0..5 {
             let pts = random_points(300, 4, seed);
-            let tree = KdTree::build(4, pts.clone());
+            let tree = KdTree::build(&Dataset::from_flat(4, pts.clone()));
             let q: Vec<f32> = random_points(1, 4, seed + 100);
             let (id, d) = tree.incremental_nn(&q).next().unwrap();
             // Brute force.
@@ -293,7 +329,7 @@ mod tests {
     #[test]
     fn prefix_matches_brute_force_topk() {
         let pts = random_points(400, 6, 9);
-        let tree = KdTree::build(6, pts.clone());
+        let tree = KdTree::build(&Dataset::from_flat(6, pts.clone()));
         let q: Vec<f32> = random_points(1, 6, 77);
         let got: Vec<u32> = tree.incremental_nn(&q).take(10).map(|(i, _)| i).collect();
         let mut all: Vec<(f32, u32)> = (0..400)
@@ -307,7 +343,7 @@ mod tests {
     #[test]
     fn point_lookup_survives_leaf_reordering() {
         let pts = random_points(200, 3, 5);
-        let tree = KdTree::build(3, pts.clone());
+        let tree = KdTree::build(&Dataset::from_flat(3, pts.clone()));
         for id in 0..200u32 {
             assert_eq!(
                 tree.point(id),
@@ -319,7 +355,7 @@ mod tests {
 
     #[test]
     fn single_point_tree() {
-        let tree = KdTree::build(3, vec![1.0, 2.0, 3.0]);
+        let tree = KdTree::build(&Dataset::from_flat(3, vec![1.0, 2.0, 3.0]));
         let out: Vec<(u32, f32)> = tree.incremental_nn(&[1.0, 2.0, 3.0]).collect();
         assert_eq!(out, vec![(0, 0.0)]);
     }
@@ -330,7 +366,7 @@ mod tests {
         for _ in 0..50 {
             pts.extend_from_slice(&[1.0f32, 1.0]);
         }
-        let tree = KdTree::build(2, pts);
+        let tree = KdTree::build(&Dataset::from_flat(2, pts));
         assert_eq!(tree.incremental_nn(&[0.0, 0.0]).count(), 50);
     }
 }

@@ -11,6 +11,7 @@ use hd_core::topk::{Neighbor, TopK};
 use hd_storage::VectorHeap;
 use std::io;
 use std::path::Path;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// In-memory exhaustive scan.
 #[derive(Debug)]
@@ -30,7 +31,11 @@ impl<'a> LinearScan<'a> {
     /// abandoned mid-evaluation. Exactness is unaffected — the kernel only
     /// abandons points a full evaluation would also have rejected.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        let mut tk = TopK::new(k.min(self.data.len()).max(1));
+        let k = k.min(self.data.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut tk = TopK::new(k);
         for (i, p) in self.data.iter().enumerate() {
             let bound = tk.bound();
             let d = l2_sq_bounded(query, p, bound);
@@ -72,7 +77,11 @@ impl DiskLinearScan {
     /// with the bounded kernel, same exactness argument as [`LinearScan`]).
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
         let n = self.heap.len();
-        let mut tk = TopK::new(k.min(n as usize).max(1));
+        let k = k.min(n as usize);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut tk = TopK::new(k);
         let mut buf = Vec::with_capacity(self.heap.dim());
         for id in 0..n {
             self.heap.get_into(id, &mut buf)?;
@@ -95,6 +104,54 @@ impl DiskLinearScan {
 
     pub fn disk_bytes(&self) -> u64 {
         self.heap.disk_bytes()
+    }
+}
+
+
+impl AnnIndex for LinearScan<'_> {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// Exact exhaustive scan; the budget knobs do not apply.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::in_memory(self.memory_bytes())
+    }
+}
+
+impl AnnIndex for DiskLinearScan {
+    fn len(&self) -> u64 {
+        self.heap.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+
+    /// Exact exhaustive disk scan; the budget knobs do not apply.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.heap.pool().memory_bytes(),
+            build_memory_bytes: self.heap.len() as usize * self.heap.dim() * 4,
+            io: self.heap.pool().stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        self.heap.pool().reset_stats();
     }
 }
 

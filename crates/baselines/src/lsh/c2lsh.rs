@@ -27,6 +27,7 @@ use hd_storage::{IoSnapshot, VectorHeap};
 use rand::{Rng, SeedableRng};
 use std::io;
 use std::path::Path;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters (paper §5: c = 2, w = 1, β = 100/n, δ = 1/e).
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +84,9 @@ pub struct C2lsh {
     /// Bucket of the query is recomputed per query; these are data buckets.
     heap: VectorHeap,
     n: usize,
+    /// Corpus residency during build (the tables are built from the
+    /// in-memory dataset), for uniform construction-memory accounting.
+    corpus_bytes: usize,
 }
 
 impl std::fmt::Debug for C2lsh {
@@ -134,6 +138,7 @@ impl C2lsh {
             tables,
             heap,
             n,
+            corpus_bytes: data.memory_bytes(),
         })
     }
 
@@ -147,7 +152,10 @@ impl C2lsh {
 
     /// kANN query with dynamic collision counting.
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
-        let k = k.min(self.n).max(1);
+        let k = k.min(self.n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let budget = self.params.beta_n + k;
         let q_buckets: Vec<i64> = (0..self.m)
             .map(|i| {
@@ -256,6 +264,36 @@ impl C2lsh {
 
     pub fn reset_io_stats(&self) {
         self.heap.pool().reset_stats();
+    }
+}
+
+
+impl AnnIndex for C2lsh {
+    fn len(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+
+    /// The budget knobs do not apply: C2LSH's candidate volume is governed
+    /// by its own βn + k bound and collision threshold.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: self.memory_bytes() + self.corpus_bytes,
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        C2lsh::reset_io_stats(self);
     }
 }
 

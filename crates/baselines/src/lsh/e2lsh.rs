@@ -19,6 +19,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters: `l` tables of `k_hashes` concatenated atomic hashes with
 /// bucket width `w` (in units of the data's distance scale).
@@ -137,7 +138,10 @@ impl E2lsh {
     /// kANN query: probe the query's bucket in every table, verify the union
     /// of occupants with exact (disk) distances.
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
-        let k = k.min(self.n).max(1);
+        let k = k.min(self.n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let mut seen = std::collections::HashSet::new();
         let mut tk = TopK::new(k);
         let mut vbuf = Vec::with_capacity(self.heap.dim());
@@ -193,12 +197,48 @@ impl E2lsh {
             .sum()
     }
 
+    /// On-disk footprint: the verification heap file.
+    pub fn disk_bytes(&self) -> u64 {
+        self.heap.disk_bytes()
+    }
+
     pub fn io_stats(&self) -> IoSnapshot {
         self.heap.pool().stats()
     }
 
     pub fn reset_io_stats(&self) {
         self.heap.pool().reset_stats();
+    }
+}
+
+
+impl AnnIndex for E2lsh {
+    fn len(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+
+    /// The budget knobs do not apply: the candidate set is exactly the
+    /// bucket union of the L tables.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Build hashes the resident corpus into L tables.
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: self.memory_bytes() + self.n * self.heap.dim() * 4,
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        E2lsh::reset_io_stats(self);
     }
 }
 

@@ -22,6 +22,7 @@ use hd_storage::{BufferPool, IoSnapshot, Pager, VectorHeap};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters (paper §5: c = 2, β = 100/n, δ = 1/e; w from QALSH's optimal
 /// formula ≈ 2.719 for c = 2).
@@ -72,6 +73,9 @@ pub struct Qalsh {
     trees: Vec<BTree>,
     heap: VectorHeap,
     n: usize,
+    /// Corpus residency during build, for uniform construction-memory
+    /// accounting.
+    corpus_bytes: usize,
 }
 
 impl std::fmt::Debug for Qalsh {
@@ -124,6 +128,7 @@ impl Qalsh {
             trees,
             heap,
             n,
+            corpus_bytes: data.memory_bytes(),
         };
         q.reset_io_stats();
         Ok(q)
@@ -139,7 +144,10 @@ impl Qalsh {
 
     /// kANN query with query-anchored virtual rehashing.
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
-        let k = k.min(self.n).max(1);
+        let k = k.min(self.n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let budget = self.params.beta_n + k;
         let q_proj: Vec<f64> = self
             .projections
@@ -302,6 +310,38 @@ impl Qalsh {
             t.pool().reset_stats();
         }
         self.heap.pool().reset_stats();
+    }
+}
+
+
+impl AnnIndex for Qalsh {
+    fn len(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+
+    /// The budget knobs do not apply: QALSH's candidate volume is governed
+    /// by its own βn + k bound and collision threshold.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Build sorts (projection, id) pairs per hash tree over the
+        // resident corpus.
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: self.n * 24 + self.corpus_bytes,
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        Qalsh::reset_io_stats(self);
     }
 }
 

@@ -25,6 +25,7 @@ use hd_core::topk::{Neighbor, TopK};
 use hd_storage::{IoSnapshot, VectorHeap};
 use std::io;
 use std::path::Path;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters (paper §5: SRS-12, c = 2, m = 6, τ = 0.1809, t = 0.00242).
 #[derive(Debug, Clone, Copy)]
@@ -83,7 +84,7 @@ impl Srs {
                 projected.push(project(a, p));
             }
         }
-        let tree = KdTree::build(params.m, projected);
+        let tree = KdTree::build(&Dataset::from_flat(params.m, projected));
 
         let mut heap = VectorHeap::create(dir.join("srs.heap"), data.dim(), params.cache_pages)?;
         for p in data.iter() {
@@ -102,7 +103,10 @@ impl Srs {
     /// kANN query: incremental NN in projected space with χ²-based early
     /// termination.
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
-        let k = k.min(self.n).max(1);
+        let k = k.min(self.n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let q_proj: Vec<f32> = self.projections.iter().map(|a| project(a, query)).collect();
         let max_examined = ((self.params.t * self.n as f64).ceil() as usize).max(k);
 
@@ -161,6 +165,36 @@ impl Srs {
 
     pub fn reset_io_stats(&self) {
         self.heap.pool().reset_stats();
+    }
+}
+
+
+impl AnnIndex for Srs {
+    fn len(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+
+    /// The budget knobs do not apply: SRS terminates on its χ² confidence
+    /// threshold τ or the t·n examination cap.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: self.memory_bytes() + self.heap.dim() * 4 * self.params.m,
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        Srs::reset_io_stats(self);
     }
 }
 

@@ -20,6 +20,7 @@ use hd_storage::{BufferPool, IoSnapshot, Pager};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Construction parameters (paper §5: τ = 8, α = 4096).
 #[derive(Debug, Clone, Copy)]
@@ -143,9 +144,22 @@ impl Multicurves {
     /// computed directly from leaf-resident descriptors, best k of the
     /// aggregate (Valle et al.'s aggregation step).
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
+        self.knn_with_alpha(query, k, self.params.alpha)
+    }
+
+    /// [`Self::knn`] with a per-call candidate budget α instead of the
+    /// build-time default.
+    pub fn knn_with_alpha(&self, query: &[f32], k: usize, alpha: usize) -> io::Result<Vec<Neighbor>> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        let mut tk = TopK::new(k.min(self.n).max(1));
-        let mut seen = std::collections::HashSet::with_capacity(self.params.alpha * self.trees.len());
+        let k = k.min(self.n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        // At most n distinct ids can ever be collected, whatever α says.
+        let alpha = alpha.min(self.n);
+        let mut tk = TopK::new(k);
+        let mut seen =
+            std::collections::HashSet::with_capacity(alpha.saturating_mul(self.trees.len()).min(self.n));
         let (lo, hi) = self.params.domain;
         let mut sub = Vec::new();
         let mut vbuf: Vec<f32> = Vec::with_capacity(self.dim);
@@ -174,13 +188,13 @@ impl Multicurves {
                     tk.push(Neighbor::new(id, l2_sq(query, vbuf)));
                 }
             };
-            while taken < self.params.alpha && (fwd.valid() || bwd.valid()) {
+            while taken < alpha && (fwd.valid() || bwd.valid()) {
                 if fwd.valid() {
                     consume(&fwd, &mut seen, &mut tk, &mut vbuf);
                     taken += 1;
                     fwd.advance()?;
                 }
-                if taken < self.params.alpha && bwd.valid() {
+                if taken < alpha && bwd.valid() {
                     consume(&bwd, &mut seen, &mut tk, &mut vbuf);
                     taken += 1;
                     bwd.retreat()?;
@@ -200,6 +214,10 @@ impl Multicurves {
 
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// τ× dataset replication makes this the largest index of the lineup.
@@ -226,6 +244,41 @@ impl Multicurves {
         for t in &self.trees {
             t.pool().reset_stats();
         }
+    }
+}
+
+
+impl AnnIndex for Multicurves {
+    fn len(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `candidates` overrides the per-curve budget α (clamped into
+    /// `[1, n]`, the same convention as HD-Index); `refine` does not apply
+    /// (descriptors live in the leaves, so candidate generation *is*
+    /// refinement).
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        let alpha = req.candidates.unwrap_or(self.params.alpha).clamp(1, self.n.max(1));
+        Ok(SearchOutput::from_neighbors(self.knn_with_alpha(query, req.k, alpha)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Construction sorts each curve's (key, descriptor) table over the
+        // in-memory corpus.
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: self.n * (self.dim * 4 + 64),
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        Multicurves::reset_io_stats(self);
     }
 }
 

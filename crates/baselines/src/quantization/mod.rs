@@ -5,5 +5,5 @@
 pub mod opq;
 pub mod pq;
 
-pub use opq::{Opq, OpqParams};
-pub use pq::{Pq, PqParams};
+pub use opq::{Opq, OpqParams, OpqRerank};
+pub use pq::{Pq, PqParams, PqRerank};

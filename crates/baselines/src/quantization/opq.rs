@@ -13,6 +13,7 @@ use hd_core::linalg::{procrustes, Matrix};
 use hd_core::topk::Neighbor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters (paper §5: M = 8 subspaces).
 #[derive(Debug, Clone, Copy)]
@@ -124,10 +125,26 @@ impl Opq {
     /// ADC shortlist + exact re-ranking against the original (unrotated)
     /// data — the paper's OPQ operating point (see [`Pq::knn_rerank`]).
     pub fn knn_rerank(&self, data: &Dataset, query: &[f32], k: usize, expand: usize) -> Vec<Neighbor> {
+        self.knn_rerank_shortlist(data, query, k, k * expand.max(1))
+    }
+
+    /// [`Self::knn_rerank`] with the shortlist size given directly (the
+    /// refinement budget of the unified trait API).
+    pub fn knn_rerank_shortlist(
+        &self,
+        data: &Dataset,
+        query: &[f32],
+        k: usize,
+        shortlist: usize,
+    ) -> Vec<Neighbor> {
         use hd_core::distance::l2_sq;
         use hd_core::topk::TopK;
-        let shortlist = self.knn(query, (k * expand.max(1)).min(self.pq.len()));
-        let mut tk = TopK::new(k.min(self.pq.len()).max(1));
+        let k = k.min(self.pq.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let shortlist = self.knn(query, shortlist.max(k).min(self.pq.len()));
+        let mut tk = TopK::new(k);
         for c in shortlist {
             tk.push(Neighbor::new(c.id, l2_sq(query, data.get(c.id as usize))));
         }
@@ -159,6 +176,37 @@ impl Opq {
 
     pub fn is_empty(&self) -> bool {
         self.pq.is_empty()
+    }
+}
+
+
+/// An [`Opq`] bundled with the corpus it encodes — see
+/// [`crate::quantization::PqRerank`] for the rationale.
+pub struct OpqRerank<'a> {
+    pub opq: Opq,
+    pub data: &'a Dataset,
+}
+
+impl AnnIndex for OpqRerank<'_> {
+    fn len(&self) -> u64 {
+        self.opq.len() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.opq.dim
+    }
+
+    /// `refine` overrides the exact-rerank shortlist size (default `20·k`);
+    /// `candidates` does not apply.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> std::io::Result<SearchOutput> {
+        let shortlist = req.refine.unwrap_or(req.k.saturating_mul(20));
+        Ok(SearchOutput::from_neighbors(self.opq.knn_rerank_shortlist(
+            self.data, query, req.k, shortlist,
+        )))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::in_memory(self.opq.memory_bytes() + self.data.memory_bytes())
     }
 }
 

@@ -11,6 +11,7 @@ use hd_core::kmeans::kmeans;
 use hd_core::topk::{Neighbor, TopK};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters (paper §5: M = 8 subspaces; 8 bits/subspace is the PQ
 /// standard).
@@ -177,8 +178,12 @@ impl Pq {
     /// already beyond the bound can only grow, and the entry could not have
     /// entered the top-k anyway — same shortlist, fewer table lookups.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let k = k.min(self.n);
+        if k == 0 {
+            return Vec::new();
+        }
         let lut = self.build_lut(query);
-        let mut tk = TopK::new(k.min(self.n).max(1));
+        let mut tk = TopK::new(k);
         for i in 0..self.n {
             let code = &self.codes[i * self.msub..(i + 1) * self.msub];
             let bound = tk.bound();
@@ -206,9 +211,25 @@ impl Pq {
     /// configuration reaches MAP parity with HD-Index (§5, "Parameters") —
     /// and why its RAM footprint includes the raw data.
     pub fn knn_rerank(&self, data: &Dataset, query: &[f32], k: usize, expand: usize) -> Vec<Neighbor> {
+        self.knn_rerank_shortlist(data, query, k, k * expand.max(1))
+    }
+
+    /// [`Self::knn_rerank`] with the shortlist size given directly (the
+    /// refinement budget of the unified trait API).
+    pub fn knn_rerank_shortlist(
+        &self,
+        data: &Dataset,
+        query: &[f32],
+        k: usize,
+        shortlist: usize,
+    ) -> Vec<Neighbor> {
         assert_eq!(data.len(), self.n, "dataset/codes mismatch");
-        let shortlist = self.knn(query, (k * expand.max(1)).min(self.n));
-        let mut tk = TopK::new(k.min(self.n).max(1));
+        let k = k.min(self.n);
+        if k == 0 {
+            return Vec::new();
+        }
+        let shortlist = self.knn(query, shortlist.max(k).min(self.n));
+        let mut tk = TopK::new(k);
         for c in shortlist {
             let bound = tk.bound();
             let d = l2_sq_bounded(query, data.get(c.id as usize), bound);
@@ -250,6 +271,40 @@ impl Pq {
                 .iter()
                 .flat_map(|cb| cb.iter().map(|c| c.capacity() * 4))
                 .sum::<usize>()
+    }
+}
+
+
+/// A [`Pq`] bundled with the corpus it encodes, so ADC shortlists are
+/// exactly re-ranked through the unified trait — the paper's "ADC+R"
+/// operating point, whose RAM footprint deliberately includes the raw data
+/// (§2.2.5: quantization methods keep the corpus resident).
+pub struct PqRerank<'a> {
+    pub pq: Pq,
+    pub data: &'a Dataset,
+}
+
+impl AnnIndex for PqRerank<'_> {
+    fn len(&self) -> u64 {
+        self.pq.len() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.pq.dim
+    }
+
+    /// `refine` overrides the exact-rerank shortlist size (default `20·k`,
+    /// the §5 "Parameters" expansion); `candidates` does not apply (ADC
+    /// scans every code).
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> std::io::Result<SearchOutput> {
+        let shortlist = req.refine.unwrap_or(req.k.saturating_mul(20));
+        Ok(SearchOutput::from_neighbors(self.pq.knn_rerank_shortlist(
+            self.data, query, req.k, shortlist,
+        )))
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::in_memory(self.pq.memory_bytes() + self.data.memory_bytes())
     }
 }
 

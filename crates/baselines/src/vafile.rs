@@ -15,6 +15,7 @@ use hd_core::topk::{Neighbor, TopK};
 use hd_storage::{IoSnapshot, VectorHeap};
 use std::io;
 use std::path::Path;
+use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
 /// Parameters: `bits` per dimension (the classic choice is 4–8) and the
 /// per-axis domain used for grid quantization.
@@ -122,7 +123,10 @@ impl VaFile {
     /// Exact kNN by the two-phase VA scan.
     pub fn knn(&self, query: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
         assert_eq!(query.len(), self.dim, "dimensionality mismatch");
-        let k = k.min(self.n).max(1);
+        let k = k.min(self.n);
+        if k == 0 {
+            return Ok(Vec::new());
+        }
 
         // Phase 1: scan approximations, collect (lower bound, id) sorted.
         let mut bounds: Vec<(f32, u32)> = (0..self.n)
@@ -186,6 +190,11 @@ impl VaFile {
         self.approx.capacity() + self.boundaries.capacity() * 4
     }
 
+    /// On-disk footprint: the exact-vector heap file.
+    pub fn disk_bytes(&self) -> u64 {
+        self.heap.disk_bytes()
+    }
+
     pub fn io_stats(&self) -> IoSnapshot {
         self.heap.pool().stats()
     }
@@ -196,6 +205,37 @@ impl VaFile {
 
     pub fn cells(&self) -> u32 {
         self.cells
+    }
+}
+
+
+impl AnnIndex for VaFile {
+    fn len(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Exact search; the budget knobs do not apply (phase 2 refines until
+    /// the lower bounds prove exactness).
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        Ok(SearchOutput::from_neighbors(self.knn(query, req.k)?))
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Build quantizes the resident corpus into the approximation table.
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: self.memory_bytes() + self.n * self.dim * 4,
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        VaFile::reset_io_stats(self);
     }
 }
 

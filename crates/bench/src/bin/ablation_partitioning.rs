@@ -31,7 +31,7 @@ fn main() {
 
         let run = |params: &HdIndexParams, tag: &str| -> f64 {
             let dir = cfg.scratch(&format!("ablation_{name}_{tag}"));
-            let map = match hd_bench::methods::run_hd_index(&w, k, &truth, &dir, params, &qp) {
+            let map = match hd_bench::sweep::run_hd_variant(&w, k, &truth, &dir, params, &qp) {
                 MethodOutcome::Done(r) => r.map,
                 MethodOutcome::NotPossible(..) => f64::NAN,
             };

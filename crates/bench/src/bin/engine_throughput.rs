@@ -94,7 +94,7 @@ fn main() {
                         .expect("batched query");
                 }
                 let qps = nq as f64 / t0.elapsed().as_secs_f64();
-                let stats = engine.stats();
+                let stats = engine.serving_stats();
                 if qps > best.0 {
                     best = (qps, shards, threads, batch);
                 }

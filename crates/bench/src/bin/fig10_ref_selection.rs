@@ -45,7 +45,7 @@ fn main() {
                 ..HdIndexParams::for_profile(&w.profile)
             };
             let qp = QueryParams::triangular(4096.min(w.data.len()), 1024.min(w.data.len()), k);
-            let map = match hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp) {
+            let map = match hd_bench::sweep::run_hd_variant(&w, k, &truth, &dir, &params, &qp) {
                 MethodOutcome::Done(r) => table::f3(r.map),
                 MethodOutcome::NotPossible(_, why) => why,
             };

@@ -6,9 +6,7 @@
 //! family's time grows with k and its MAP moves erratically; iDistance is
 //! exact at every k but slowest.
 
-use hd_bench::methods::{
-    run_c2lsh, run_hd_index_default, run_idistance, run_multicurves, run_qalsh, run_srs, Workload,
-};
+use hd_bench::methods::{run_methods, Workload};
 use hd_bench::{table, BenchConfig, MethodOutcome};
 use hd_core::dataset::DatasetProfile;
 
@@ -30,28 +28,22 @@ fn main() {
         for k in [1usize, 5, 10, 50, 100] {
             let truth = w.truth(k);
             let dir = cfg.scratch(&format!("fig13_{name}_{k}"));
-            type Runner = fn(
-                &Workload,
-                usize,
-                &[Vec<hd_core::Neighbor>],
-                &std::path::Path,
-            ) -> MethodOutcome;
-            let mut runners: Vec<(&str, Runner)> = vec![
-                ("HD-Index", run_hd_index_default as Runner),
-                ("Multicurves", run_multicurves as Runner),
-                ("C2LSH", run_c2lsh as Runner),
-                ("QALSH", run_qalsh as Runner),
-                ("SRS", run_srs as Runner),
-            ];
-            if exact {
-                runners.push(("iDistance", run_idistance as Runner));
-            }
-            for (label, runner) in runners {
-                match runner(&w, k, &truth, &dir) {
+            let names: Vec<&str> = match &cfg.methods {
+                Some(m) => m.iter().map(|s| s.as_str()).collect(),
+                None => {
+                    let mut names = vec!["hd-index", "multicurves", "c2lsh", "qalsh", "srs"];
+                    if exact {
+                        names.push("idistance");
+                    }
+                    names
+                }
+            };
+            for outcome in run_methods(&names, &w, k, &truth, &dir) {
+                match outcome {
                     MethodOutcome::Done(r) => table::row(
                         &[
                             name.into(),
-                            label.into(),
+                            r.method.into(),
                             k.to_string(),
                             table::f3(r.map),
                             table::ms(r.avg_query_ms),

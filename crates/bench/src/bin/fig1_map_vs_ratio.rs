@@ -33,7 +33,7 @@ fn main() {
             &["method", "MAP@10", "ratio", "recall"],
             &widths,
         );
-        for outcome in run_lineup(&w, k, &truth, &dir, true) {
+        for outcome in run_lineup(&w, k, &truth, &dir, true, cfg.methods.as_deref()) {
             match outcome {
                 hd_bench::MethodOutcome::Done(r) => table::row(
                     &[

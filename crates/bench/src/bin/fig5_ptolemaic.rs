@@ -41,7 +41,7 @@ fn main() {
                 // Combined.
                 let pto = QueryParams::ptolemaic(alpha, beta, gamma, k);
                 for (label, qp) in [("Tri", tri), ("Tri+Pto", pto)] {
-                    match hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp) {
+                    match hd_bench::sweep::run_hd_variant(&w, k, &truth, &dir, &params, &qp) {
                         MethodOutcome::Done(r) => table::row(
                             &[
                                 name.into(),

@@ -40,7 +40,7 @@ fn main() {
                 let dir = cfg.scratch(&format!("fig6a_{name}_{alpha}_{ratio}"));
                 let qp = QueryParams::triangular(alpha, gamma, k);
                 if let MethodOutcome::Done(r) =
-                    hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp)
+                    hd_bench::sweep::run_hd_variant(&w, k, &truth, &dir, &params, &qp)
                 {
                     table::row(
                         &[
@@ -68,7 +68,7 @@ fn main() {
             let dir = cfg.scratch(&format!("fig6g_{name}_{gamma}"));
             let qp = QueryParams::triangular(alpha, gamma, k);
             if let MethodOutcome::Done(r) =
-                hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp)
+                hd_bench::sweep::run_hd_variant(&w, k, &truth, &dir, &params, &qp)
             {
                 table::row(
                     &[

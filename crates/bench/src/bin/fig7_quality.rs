@@ -28,7 +28,7 @@ fn main() {
             &["dataset", "method", "MAP@10", "ratio"],
             &widths,
         );
-        for outcome in run_lineup(&w, k, &truth, &dir, exact) {
+        for outcome in run_lineup(&w, k, &truth, &dir, exact, cfg.methods.as_deref()) {
             match outcome {
                 hd_bench::MethodOutcome::Done(r) => table::row(
                     &[name.into(), r.method.into(), table::f3(r.map), table::f3(r.ratio)],

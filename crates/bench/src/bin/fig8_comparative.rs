@@ -57,7 +57,7 @@ fn main() {
                 &["dataset", "method", "MAP@100", "query", "index", "bld RAM", "qry RAM", "IO/qry"],
                 &widths,
             );
-            for outcome in run_lineup(&w, k, &truth, &dir, exact) {
+            for outcome in run_lineup(&w, k, &truth, &dir, exact, cfg.methods.as_deref()) {
                 match outcome {
                     hd_bench::MethodOutcome::Done(r) => table::row(
                         &[

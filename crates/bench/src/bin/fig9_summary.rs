@@ -24,7 +24,7 @@ fn main() {
     let raw_bytes = w.data.len() * w.data.dim() * 4;
     let truth = w.truth(k);
     let dir = cfg.scratch("fig9");
-    let outcomes = run_lineup(&w, k, &truth, &dir, false);
+    let outcomes = run_lineup(&w, k, &truth, &dir, false, cfg.methods.as_deref());
     std::fs::remove_dir_all(&dir).ok();
 
     let results: Vec<&hd_bench::MethodResult> =

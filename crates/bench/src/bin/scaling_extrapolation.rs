@@ -36,7 +36,7 @@ fn main() {
         let dir = cfg.scratch(&format!("scaling_{n}"));
         let params = HdIndexParams::for_profile(&w.profile);
         let qp = QueryParams::triangular(8192.min(n), 2048.min(n), k);
-        if let MethodOutcome::Done(r) = hd_bench::methods::run_hd_index(&w, k, &truth, &dir, &params, &qp) {
+        if let MethodOutcome::Done(r) = hd_bench::sweep::run_hd_variant(&w, k, &truth, &dir, &params, &qp) {
             table::row(
                 &[
                     n.to_string(),

@@ -26,15 +26,20 @@ fn main() {
         let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
         let truth = w.truth(k);
         let dir = cfg.scratch(&format!("t5_{name}"));
-        let outcomes = run_lineup(&w, k, &truth, &dir, exact);
+        let outcomes = run_lineup(&w, k, &truth, &dir, exact, cfg.methods.as_deref());
         std::fs::remove_dir_all(&dir).ok();
 
-        let hd = outcomes
+        let Some(hd) = outcomes
             .iter()
             .filter_map(|o| o.result())
             .find(|r| r.method == "HD-Index")
-            .expect("HD-Index must run")
-            .clone();
+            .cloned()
+        else {
+            // Table 5 is defined as gains *over HD-Index*; with a
+            // --methods selection that omits it there is nothing to report.
+            println!("\n[{name}] skipped: HD-Index not in the selected methods");
+            continue;
+        };
 
         table::header(
             &format!(

@@ -2,12 +2,15 @@
 
 /// Scaling knobs parsed from `argv`: `--scale F` multiplies every dataset
 /// size, `--queries N` overrides the query-set size, `--seed S` reseeds the
-/// generators. Unknown flags are ignored so binaries can add their own.
-#[derive(Debug, Clone, Copy)]
+/// generators, `--methods a,b,c` restricts registry-driven binaries to the
+/// named methods. Unknown flags are ignored so binaries can add their own.
+#[derive(Debug, Clone)]
 pub struct BenchConfig {
     pub scale: f64,
     pub queries: Option<usize>,
     pub seed: u64,
+    /// Registry names selected with `--methods` (comma-separated), if any.
+    pub methods: Option<Vec<String>>,
 }
 
 impl Default for BenchConfig {
@@ -16,6 +19,7 @@ impl Default for BenchConfig {
             scale: 1.0,
             queries: None,
             seed: 42,
+            methods: None,
         }
     }
 }
@@ -46,6 +50,17 @@ impl BenchConfig {
                 "--seed" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         cfg.seed = v;
+                        i += 1;
+                    }
+                }
+                "--methods" => {
+                    if let Some(v) = args.get(i + 1) {
+                        cfg.methods = Some(
+                            v.split(',')
+                                .map(|m| m.trim().to_string())
+                                .filter(|m| !m.is_empty())
+                                .collect(),
+                        );
                         i += 1;
                     }
                 }

@@ -5,14 +5,20 @@
 //!
 //! * [`config`] — command-line scaling (`--scale`, `--queries`, `--seed`) so
 //!   every experiment runs at laptop scale by default and can be dialed up;
-//! * [`methods`] — one standardized runner per method (build, query
-//!   workload, score against exact ground truth, account memory/disk/IO);
+//! * [`methods`] — the method *registry* plus one generic runner: every
+//!   method builds behind `Box<dyn AnnIndex>` (the `hd_core::api` trait)
+//!   and is measured by the same code path (build, query workload, score
+//!   against exact ground truth, account memory/disk/IO). `--methods a,b`
+//!   selects registry entries on any comparative binary;
+//! * [`sweep`] — HD-Index parameter-study entry point for the Fig. 4/5/6/10
+//!   binaries (custom construction/query parameters, same measurement core);
 //! * [`table`] — fixed-width table printing in the shape of the paper's
 //!   figures.
 
 pub mod config;
 pub mod methods;
+pub mod sweep;
 pub mod table;
 
 pub use config::BenchConfig;
-pub use methods::{MethodOutcome, MethodResult, Workload};
+pub use methods::{MethodOutcome, MethodResult, MethodSpec, Workload};

@@ -1,19 +1,31 @@
-//! Standardized method runners: build an index, answer a query workload,
-//! score it against exact ground truth, and account time / disk / memory /
-//! IO the way §5 reports them.
+//! The method registry and the single generic runner behind every
+//! comparative experiment: build an index behind `Box<dyn AnnIndex>`,
+//! answer a query workload, score it against exact ground truth, and
+//! account time / disk / memory / IO the way §5 reports them.
+//!
+//! Adding a method to every comparative figure is one [`MethodSpec`] entry;
+//! selecting methods on the command line (`--methods hd-index,pq`) works on
+//! any registry-driven binary for free.
 
 use hd_baselines::hnsw::{Hnsw, HnswParams};
 use hd_baselines::idistance::{IDistance, IDistanceParams};
+use hd_baselines::kdtree::KdTree;
+use hd_baselines::linear::{DiskLinearScan, LinearScan};
 use hd_baselines::lsh::c2lsh::{C2lsh, C2lshParams};
+use hd_baselines::lsh::e2lsh::{E2lsh, E2lshParams};
 use hd_baselines::lsh::qalsh::{Qalsh, QalshParams};
 use hd_baselines::lsh::srs::{Srs, SrsParams};
 use hd_baselines::multicurves::{Multicurves, MulticurvesParams};
-use hd_baselines::quantization::{Opq, OpqParams, Pq, PqParams};
+use hd_baselines::quantization::{Opq, OpqParams, OpqRerank, Pq, PqParams, PqRerank};
+use hd_baselines::vafile::{VaFile, VaFileParams};
+use hd_core::api::{AnnIndex, SearchRequest};
 use hd_core::dataset::{generate, Dataset, DatasetProfile};
 use hd_core::ground_truth::ground_truth_knn;
 use hd_core::metrics::score_workload;
 use hd_core::topk::Neighbor;
-use hd_index::{HdIndex, HdIndexParams, QueryParams};
+use hd_engine::{Engine, EngineParams};
+use hd_index::{HdIndex, HdIndexParams};
+use std::io;
 use std::path::Path;
 use std::time::Instant;
 
@@ -75,124 +87,190 @@ impl MethodOutcome {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn score(
-    method: &'static str,
-    truth: &[Vec<Neighbor>],
-    approx: Vec<Vec<Neighbor>>,
-    build_ms: f64,
-    query_ms_total: f64,
-    index_disk_bytes: u64,
-    query_mem_bytes: usize,
-    build_mem_bytes: usize,
-    physical_reads: u64,
-) -> MethodResult {
-    let s = score_workload(truth, &approx);
-    let nq = truth.len().max(1) as f64;
-    MethodResult {
-        method,
-        map: s.map,
-        ratio: s.ratio,
-        recall: s.recall,
-        build_ms,
-        avg_query_ms: query_ms_total / nq,
-        index_disk_bytes,
-        query_mem_bytes,
-        build_mem_bytes,
-        avg_physical_reads: physical_reads as f64 / nq,
-    }
+/// Where a registry entry appears in the default comparative lineup
+/// (Fig. 1/7/8/9, Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineupRole {
+    /// Always part of the lineup.
+    Core,
+    /// Included only when the caller asks for the (slow) exact reference.
+    ExactReference,
+    /// Registered — buildable, conformance-tested, selectable with
+    /// `--methods` — but not in the default lineup.
+    None,
 }
 
-/// HD-Index with explicit construction/query parameters.
-pub fn run_hd_index(
-    w: &Workload,
-    k: usize,
-    truth: &[Vec<Neighbor>],
-    dir: &Path,
-    params: &HdIndexParams,
-    qp: &QueryParams,
-) -> MethodOutcome {
-    let t0 = Instant::now();
-    let index = match HdIndex::build(&w.data, params, dir.join("hdindex")) {
-        Ok(i) => i,
-        Err(e) => return MethodOutcome::NotPossible("HD-Index", e.to_string()),
+/// Builds a boxed index over a workload. The HRTB lifetime lets in-memory
+/// adapters (linear scan, PQ/OPQ rerank) borrow the workload's dataset
+/// instead of cloning multi-megabyte corpora.
+pub type BuildFn = for<'a> fn(&'a Workload, &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>>;
+
+/// One registered method: a CLI-friendly name, the paper's display label,
+/// and a builder producing the method behind the unified trait.
+pub struct MethodSpec {
+    /// Registry key (`--methods` selector), kebab-case.
+    pub name: &'static str,
+    /// Display label matching the paper's tables.
+    pub label: &'static str,
+    /// Whether the method is exact (recall 1.0 by construction) — used by
+    /// the conformance suite and the Fig. 1 exactness reference.
+    pub exact: bool,
+    pub lineup: LineupRole,
+    pub build: BuildFn,
+}
+
+/// Every method in the workspace, in default-lineup order (the paper's
+/// Fig. 8 ordering), followed by the registered-only methods.
+pub fn registry() -> &'static [MethodSpec] {
+    static REGISTRY: &[MethodSpec] = &[
+        MethodSpec {
+            name: "hd-index",
+            label: "HD-Index",
+            exact: false,
+            lineup: LineupRole::Core,
+            build: build_hd_index,
+        },
+        MethodSpec {
+            name: "idistance",
+            label: "iDistance",
+            exact: true,
+            lineup: LineupRole::ExactReference,
+            build: build_idistance,
+        },
+        MethodSpec {
+            name: "multicurves",
+            label: "Multicurves",
+            exact: false,
+            lineup: LineupRole::Core,
+            build: build_multicurves,
+        },
+        MethodSpec {
+            name: "c2lsh",
+            label: "C2LSH",
+            exact: false,
+            lineup: LineupRole::Core,
+            build: build_c2lsh,
+        },
+        MethodSpec {
+            name: "qalsh",
+            label: "QALSH",
+            exact: false,
+            lineup: LineupRole::Core,
+            build: build_qalsh,
+        },
+        MethodSpec {
+            name: "srs",
+            label: "SRS",
+            exact: false,
+            lineup: LineupRole::Core,
+            build: build_srs,
+        },
+        MethodSpec {
+            name: "opq",
+            label: "OPQ",
+            exact: false,
+            lineup: LineupRole::Core,
+            build: build_opq,
+        },
+        MethodSpec {
+            name: "hnsw",
+            label: "HNSW",
+            exact: false,
+            lineup: LineupRole::Core,
+            build: build_hnsw,
+        },
+        MethodSpec {
+            name: "pq",
+            label: "PQ",
+            exact: false,
+            lineup: LineupRole::None,
+            build: build_pq,
+        },
+        MethodSpec {
+            name: "e2lsh",
+            label: "E2LSH",
+            exact: false,
+            lineup: LineupRole::None,
+            build: build_e2lsh,
+        },
+        MethodSpec {
+            name: "vafile",
+            label: "VA-file",
+            exact: true,
+            lineup: LineupRole::None,
+            build: build_vafile,
+        },
+        MethodSpec {
+            name: "linear-scan",
+            label: "LinearScan",
+            exact: true,
+            lineup: LineupRole::None,
+            build: build_linear_scan,
+        },
+        MethodSpec {
+            name: "disk-linear-scan",
+            label: "DiskScan",
+            exact: true,
+            lineup: LineupRole::None,
+            build: build_disk_linear_scan,
+        },
+        MethodSpec {
+            name: "kdtree",
+            label: "kd-tree",
+            exact: true,
+            lineup: LineupRole::None,
+            build: build_kdtree,
+        },
+        MethodSpec {
+            name: "engine",
+            label: "Engine",
+            exact: false,
+            lineup: LineupRole::None,
+            build: build_engine,
+        },
+    ];
+    REGISTRY
+}
+
+/// Looks up a registry entry by its CLI name.
+pub fn spec(name: &str) -> Option<&'static MethodSpec> {
+    registry().iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// Registered builders. Parameters follow §5 "Parameters" per profile; every
+// count is clamped against the corpus so the registry stays buildable at any
+// `--scale` (including the n = 1 conformance corner).
+// ---------------------------------------------------------------------------
+
+fn build_hd_index<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    let mut params = HdIndexParams::for_profile(&w.profile);
+    params.num_references = params.num_references.min(w.data.len());
+    let index = HdIndex::build(&w.data, &params, dir)?;
+    // Serve defaults are the paper's recommended α = 4096, γ = 1024
+    // triangular pipeline (clamped to n per query by the trait adapter).
+    Ok(Box::new(index))
+}
+
+fn build_engine<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    let mut index = HdIndexParams::for_profile(&w.profile);
+    index.num_references = index.num_references.min(w.data.len());
+    let params = EngineParams {
+        shards: 2.min(w.data.len()).max(1),
+        ..EngineParams::new(index)
     };
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let mut qp = *qp;
-    qp.k = k;
-
-    index.reset_io_stats();
-    let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
-        .iter()
-        .map(|q| index.knn(q, &qp).expect("query IO"))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let io = index.io_stats();
-
-    // Build memory: the per-tree sort buffer dominates (keys + values + Vec
-    // headers) plus the n×m reference-distance table.
-    let m = params.num_references;
-    let eta = w.data.dim().div_ceil(params.tau);
-    let entry = eta * params.hilbert_order as usize / 8 + 8 + 4 * m + 48;
-    let build_mem = w.data.len() * (entry + 4 * m);
-
-    MethodOutcome::Done(score(
-        "HD-Index",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        index.disk_bytes(),
-        index.memory_bytes(),
-        build_mem,
-        io.physical_reads,
-    ))
+    Ok(Box::new(Engine::build(&w.data, &params, dir)?))
 }
 
-/// HD-Index with the paper's recommended per-profile configuration.
-pub fn run_hd_index_default(w: &Workload, k: usize, truth: &[Vec<Neighbor>], dir: &Path) -> MethodOutcome {
-    let params = HdIndexParams::for_profile(&w.profile);
-    let qp = QueryParams::triangular(4096.min(w.data.len()), 1024.min(w.data.len()), k);
-    run_hd_index(w, k, truth, dir, &params, &qp)
-}
-
-pub fn run_idistance(w: &Workload, k: usize, truth: &[Vec<Neighbor>], dir: &Path) -> MethodOutcome {
-    let t0 = Instant::now();
+fn build_idistance<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
     let params = IDistanceParams {
         partitions: 64.min(w.data.len() / 10).max(1),
         ..Default::default()
     };
-    let index = match IDistance::build(&w.data, params, dir.join("idistance")) {
-        Ok(i) => i,
-        Err(e) => return MethodOutcome::NotPossible("iDistance", e.to_string()),
-    };
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    index.reset_io_stats();
-    let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
-        .iter()
-        .map(|q| index.knn(q, k).expect("query IO"))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let io = index.io_stats();
-    let build_mem = index.build_memory_bytes(w.data.len(), w.data.dim());
-    MethodOutcome::Done(score(
-        "iDistance",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        index.disk_bytes(),
-        index.memory_bytes(),
-        build_mem,
-        io.physical_reads,
-    ))
+    Ok(Box::new(IDistance::build(&w.data, params, dir)?))
 }
 
-pub fn run_multicurves(w: &Workload, k: usize, truth: &[Vec<Neighbor>], dir: &Path) -> MethodOutcome {
+fn build_multicurves<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
     let params = MulticurvesParams {
         tau: 8.min(w.data.dim()),
         hilbert_order: w.profile.hilbert_order,
@@ -200,253 +278,207 @@ pub fn run_multicurves(w: &Workload, k: usize, truth: &[Vec<Neighbor>], dir: &Pa
         alpha: 4096.min(w.data.len()),
         cache_pages: 0,
     };
-    let t0 = Instant::now();
-    let index = match Multicurves::build(&w.data, params, dir.join("multicurves")) {
-        Ok(i) => i,
-        Err(e) => return MethodOutcome::NotPossible("Multicurves", e.to_string()),
-    };
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    index.reset_io_stats();
-    let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
-        .iter()
-        .map(|q| index.knn(q, k).expect("query IO"))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let io = index.io_stats();
-    let build_mem = w.data.len() * (w.data.dim() * 4 + 64);
-    MethodOutcome::Done(score(
-        "Multicurves",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        index.disk_bytes(),
-        index.memory_bytes(),
-        build_mem,
-        io.physical_reads,
-    ))
+    Ok(Box::new(Multicurves::build(&w.data, params, dir)?))
 }
 
-pub fn run_c2lsh(w: &Workload, k: usize, truth: &[Vec<Neighbor>], dir: &Path) -> MethodOutcome {
-    let t0 = Instant::now();
-    let index = match C2lsh::build(&w.data, C2lshParams::default(), dir.join("c2lsh")) {
-        Ok(i) => i,
-        Err(e) => return MethodOutcome::NotPossible("C2LSH", e.to_string()),
-    };
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    index.reset_io_stats();
-    let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
-        .iter()
-        .map(|q| index.knn(q, k).expect("query IO"))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let io = index.io_stats();
-    let build_mem = index.memory_bytes() + w.data.memory_bytes();
-    MethodOutcome::Done(score(
-        "C2LSH",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        index.disk_bytes(),
-        index.memory_bytes(),
-        build_mem,
-        io.physical_reads,
-    ))
+fn build_c2lsh<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    Ok(Box::new(C2lsh::build(&w.data, C2lshParams::default(), dir)?))
 }
 
-pub fn run_qalsh(w: &Workload, k: usize, truth: &[Vec<Neighbor>], dir: &Path) -> MethodOutcome {
-    let t0 = Instant::now();
-    let index = match Qalsh::build(&w.data, QalshParams::default(), dir.join("qalsh")) {
-        Ok(i) => i,
-        Err(e) => return MethodOutcome::NotPossible("QALSH", e.to_string()),
-    };
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    index.reset_io_stats();
-    let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
-        .iter()
-        .map(|q| index.knn(q, k).expect("query IO"))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let io = index.io_stats();
-    let build_mem = w.data.len() * 24 + w.data.memory_bytes();
-    MethodOutcome::Done(score(
-        "QALSH",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        index.disk_bytes(),
-        index.memory_bytes(),
-        build_mem,
-        io.physical_reads,
-    ))
+fn build_qalsh<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    Ok(Box::new(Qalsh::build(&w.data, QalshParams::default(), dir)?))
 }
 
-pub fn run_srs(w: &Workload, k: usize, truth: &[Vec<Neighbor>], dir: &Path) -> MethodOutcome {
+fn build_srs<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
     // The paper's t = 0.00242 assumes n ≥ 1M; floor the budget so small
     // workloads examine at least a few hundred points.
     let params = SrsParams {
         t: (0.00242f64).max(500.0 / w.data.len() as f64),
         ..Default::default()
     };
-    let t0 = Instant::now();
-    let index = match Srs::build(&w.data, params, dir.join("srs")) {
-        Ok(i) => i,
-        Err(e) => return MethodOutcome::NotPossible("SRS", e.to_string()),
-    };
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    index.reset_io_stats();
-    let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
-        .iter()
-        .map(|q| index.knn(q, k).expect("query IO"))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let io = index.io_stats();
-    let build_mem = index.memory_bytes() + w.data.dim() * 4 * 6;
-    MethodOutcome::Done(score(
-        "SRS",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        index.disk_bytes(),
-        index.memory_bytes(),
-        build_mem,
-        io.physical_reads,
-    ))
+    Ok(Box::new(Srs::build(&w.data, params, dir)?))
 }
 
-pub fn run_opq(w: &Workload, k: usize, truth: &[Vec<Neighbor>]) -> MethodOutcome {
+fn build_e2lsh<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    Ok(Box::new(E2lsh::build(&w.data, E2lshParams::default(), dir)?))
+}
+
+fn build_vafile<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    let params = VaFileParams {
+        bits: 8,
+        domain: (w.profile.lo, w.profile.hi),
+        cache_pages: 0,
+    };
+    Ok(Box::new(VaFile::build(&w.data, params, dir)?))
+}
+
+fn pq_params(w: &Workload) -> PqParams {
+    PqParams {
+        m_subspaces: 8.min(w.data.dim()),
+        k_sub: 256.min(w.data.len()),
+        train_size: 10_000,
+        kmeans_iters: 10,
+        seed: 11,
+    }
+}
+
+fn build_pq<'a>(w: &'a Workload, _dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    let pq = Pq::build(&w.data, pq_params(w));
+    Ok(Box::new(PqRerank { pq, data: &w.data }))
+}
+
+fn build_opq<'a>(w: &'a Workload, _dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
     // Rotation learning solves a ν×ν Procrustes per iteration (O(ν³) Jacobi
     // SVD); beyond ~300 dims that dominates everything else, so the harness
     // falls back to the identity rotation (plain PQ codebooks) there — the
     // same quality envelope the paper's OPQ shows on SUN/Enron.
     let opt_iters = if w.data.dim() > 300 { 0 } else { 6 };
     let params = OpqParams {
-        pq: PqParams {
-            m_subspaces: 8.min(w.data.dim()),
-            k_sub: 256.min(w.data.len()),
-            train_size: 10_000,
-            kmeans_iters: 10,
-            seed: 11,
-        },
+        pq: pq_params(w),
         opt_iters,
         opt_sample: 1500.min(w.data.len()),
     };
-    let t0 = Instant::now();
-    let index = Opq::build(&w.data, params);
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let t0 = Instant::now();
-    // ADC shortlist + exact re-rank: the paper tunes OPQ's search so its MAP
-    // matches HD-Index (§5 "Parameters").
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
-        .iter()
-        .map(|q| index.knn_rerank(&w.data, q, k, 20))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    // In-memory method: data + codes resident at query time.
-    let query_mem = index.memory_bytes() + w.data.memory_bytes();
-    MethodOutcome::Done(score(
-        "OPQ",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        0,
-        query_mem,
-        query_mem,
-        0,
-    ))
+    let opq = Opq::build(&w.data, params);
+    Ok(Box::new(OpqRerank { opq, data: &w.data }))
 }
 
-pub fn run_pq(w: &Workload, k: usize, truth: &[Vec<Neighbor>]) -> MethodOutcome {
-    let params = PqParams {
-        m_subspaces: 8.min(w.data.dim()),
-        k_sub: 256.min(w.data.len()),
-        train_size: 10_000,
-        kmeans_iters: 10,
-        seed: 11,
+fn build_hnsw<'a>(w: &'a Workload, _dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    // Default ef_search = 96; the trait adapter floors the effective ef at
+    // 2k per query — together the paper's (2k).max(96) operating point.
+    Ok(Box::new(Hnsw::build(&w.data, HnswParams::default())))
+}
+
+fn build_linear_scan<'a>(w: &'a Workload, _dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    Ok(Box::new(LinearScan::new(&w.data)))
+}
+
+fn build_disk_linear_scan<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    std::fs::create_dir_all(dir)?;
+    // One cache page: a sequential scan then reads each page exactly once.
+    Ok(Box::new(DiskLinearScan::build(&w.data, dir.join("scan.heap"), 1)?))
+}
+
+fn build_kdtree<'a>(w: &'a Workload, _dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    Ok(Box::new(KdTree::build(&w.data)))
+}
+
+// ---------------------------------------------------------------------------
+// The generic runner.
+// ---------------------------------------------------------------------------
+
+/// Builds `spec` over the workload and measures it — **the** runner every
+/// comparative binary drives; there are no per-method variants.
+pub fn run_method(
+    spec: &MethodSpec,
+    w: &Workload,
+    k: usize,
+    truth: &[Vec<Neighbor>],
+    dir: &Path,
+) -> MethodOutcome {
+    let subdir = dir.join(spec.name);
+    let t0 = Instant::now();
+    let index = match (spec.build)(w, &subdir) {
+        Ok(i) => i,
+        Err(e) => return MethodOutcome::NotPossible(spec.label, e.to_string()),
     };
-    let t0 = Instant::now();
-    let index = Pq::build(&w.data, params);
     let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    run_built(spec.label, w, k, truth, index.as_ref(), build_ms)
+}
+
+/// The measurement half of [`run_method`]: answers the workload through the
+/// unified trait, scores it, and reads the uniform accounting. Parameter
+/// sweeps (`sweep::run_hd_variant`) reuse it with hand-built indexes.
+pub fn run_built(
+    label: &'static str,
+    w: &Workload,
+    k: usize,
+    truth: &[Vec<Neighbor>],
+    index: &dyn AnnIndex,
+    build_ms: f64,
+) -> MethodOutcome {
+    let req = SearchRequest::new(k);
+    index.reset_io_stats();
     let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w
-        .queries
+    let mut approx: Vec<Vec<Neighbor>> = Vec::with_capacity(w.queries.len());
+    for q in w.queries.iter() {
+        match index.search(q, &req) {
+            Ok(out) => approx.push(out.neighbors),
+            Err(e) => return MethodOutcome::NotPossible(label, e.to_string()),
+        }
+    }
+    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let stats = index.stats();
+
+    let s = score_workload(truth, &approx);
+    let nq = truth.len().max(1) as f64;
+    MethodOutcome::Done(MethodResult {
+        method: label,
+        map: s.map,
+        ratio: s.ratio,
+        recall: s.recall,
+        build_ms,
+        avg_query_ms: query_ms / nq,
+        index_disk_bytes: stats.disk_bytes,
+        query_mem_bytes: stats.memory_bytes,
+        build_mem_bytes: stats.build_memory_bytes,
+        avg_physical_reads: stats.io.physical_reads as f64 / nq,
+    })
+}
+
+/// Runs a list of registry names in order, skipping unknown names with a
+/// warning on stderr (so `--methods` typos do not abort a long run).
+pub fn run_methods(
+    names: &[&str],
+    w: &Workload,
+    k: usize,
+    truth: &[Vec<Neighbor>],
+    dir: &Path,
+) -> Vec<MethodOutcome> {
+    names
         .iter()
-        .map(|q| index.knn_rerank(&w.data, q, k, 20))
-        .collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let query_mem = index.memory_bytes() + w.data.memory_bytes();
-    MethodOutcome::Done(score(
-        "PQ",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        0,
-        query_mem,
-        query_mem,
-        0,
-    ))
+        .filter_map(|name| match spec(name) {
+            Some(s) => Some(run_method(s, w, k, truth, dir)),
+            None => {
+                eprintln!(
+                    "warning: unknown method {name:?} (known: {})",
+                    registry().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+                );
+                None
+            }
+        })
+        .collect()
 }
 
-pub fn run_hnsw(w: &Workload, k: usize, truth: &[Vec<Neighbor>]) -> MethodOutcome {
-    let params = HnswParams {
-        ef_search: (2 * k).max(96),
-        ..Default::default()
-    };
-    let t0 = Instant::now();
-    let index = Hnsw::build(&w.data, params);
-    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let t0 = Instant::now();
-    let approx: Vec<Vec<Neighbor>> = w.queries.iter().map(|q| index.knn(q, k)).collect();
-    let query_ms = t0.elapsed().as_secs_f64() * 1000.0;
-    let query_mem = index.memory_bytes();
-    MethodOutcome::Done(score(
-        "HNSW",
-        truth,
-        approx,
-        build_ms,
-        query_ms,
-        0,
-        query_mem,
-        query_mem,
-        0,
-    ))
+/// The default lineup names of the Fig. 8 comparative study.
+/// `include_exact` adds iDistance (slow; it is only the exactness
+/// reference).
+pub fn lineup_names(include_exact: bool) -> Vec<&'static str> {
+    registry()
+        .iter()
+        .filter(|s| match s.lineup {
+            LineupRole::Core => true,
+            LineupRole::ExactReference => include_exact,
+            LineupRole::None => false,
+        })
+        .map(|s| s.name)
+        .collect()
 }
 
-/// Runs the full method lineup of Fig. 8 on one workload. `include_exact`
-/// adds iDistance (slow; it is only the exactness reference).
+/// Runs the comparative lineup on one workload: the default Fig. 8 methods,
+/// or exactly `filter` (registry names, e.g. from `--methods`) when given.
 pub fn run_lineup(
     w: &Workload,
     k: usize,
     truth: &[Vec<Neighbor>],
     dir: &Path,
     include_exact: bool,
+    filter: Option<&[String]>,
 ) -> Vec<MethodOutcome> {
-    let mut out = Vec::new();
-    out.push(run_hd_index_default(w, k, truth, dir));
-    if include_exact {
-        out.push(run_idistance(w, k, truth, dir));
-    }
-    out.push(run_multicurves(w, k, truth, dir));
-    out.push(run_c2lsh(w, k, truth, dir));
-    out.push(run_qalsh(w, k, truth, dir));
-    out.push(run_srs(w, k, truth, dir));
-    out.push(run_opq(w, k, truth));
-    out.push(run_hnsw(w, k, truth));
-    out
+    let names: Vec<&str> = match filter {
+        Some(f) => f.iter().map(|s| s.as_str()).collect(),
+        None => lineup_names(include_exact),
+    };
+    run_methods(&names, w, k, truth, dir)
 }
 
 #[cfg(test)]
@@ -454,19 +486,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn hd_index_runner_produces_sane_numbers() {
+    fn registry_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for s in registry() {
+            assert!(seen.insert(s.name), "duplicate registry name {}", s.name);
+            assert!(spec(s.name).is_some());
+        }
+        assert!(spec("no-such-method").is_none());
+    }
+
+    #[test]
+    fn lineup_matches_fig8_ordering() {
+        assert_eq!(
+            lineup_names(true),
+            vec!["hd-index", "idistance", "multicurves", "c2lsh", "qalsh", "srs", "opq", "hnsw"]
+        );
+        assert_eq!(lineup_names(false).len(), 7);
+        assert!(!lineup_names(false).contains(&"idistance"));
+    }
+
+    #[test]
+    fn generic_runner_produces_sane_numbers_for_hd_index() {
         let w = Workload::new("t", DatasetProfile::SIFT, 1500, 10, 1);
         let truth = w.truth(10);
         let dir = std::env::temp_dir().join(format!("hd_bench_m_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let params = hd_index::HdIndexParams {
-            tau: 4,
-            num_references: 5,
-            ..hd_index::HdIndexParams::for_profile(&DatasetProfile::SIFT)
-        };
-        let qp = QueryParams::triangular(256, 64, 10);
-        match run_hd_index(&w, 10, &truth, &dir, &params, &qp) {
+        match run_method(spec("hd-index").unwrap(), &w, 10, &truth, &dir) {
             MethodOutcome::Done(r) => {
+                assert_eq!(r.method, "HD-Index");
                 assert!(r.map > 0.3, "MAP {}", r.map);
                 assert!(r.ratio >= 1.0);
                 assert!(r.avg_query_ms > 0.0);
@@ -484,13 +531,26 @@ mod tests {
         let truth = w.truth(5);
         let dir = std::env::temp_dir().join(format!("hd_bench_l_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let out = run_lineup(&w, 5, &truth, &dir, false);
+        let out = run_lineup(&w, 5, &truth, &dir, false, None);
         assert_eq!(out.len(), 7);
         for o in &out {
             if let MethodOutcome::Done(r) = o {
                 assert!(r.map >= 0.0 && r.map <= 1.0, "{}: map {}", r.method, r.map);
             }
         }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn methods_filter_selects_by_name() {
+        let w = Workload::new("t", DatasetProfile::SIFT, 400, 3, 3);
+        let truth = w.truth(3);
+        let dir = std::env::temp_dir().join(format!("hd_bench_f_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let filter = vec!["linear-scan".to_string(), "pq".to_string()];
+        let out = run_lineup(&w, 3, &truth, &dir, true, Some(&filter));
+        let labels: Vec<&str> = out.iter().filter_map(|o| o.result()).map(|r| r.method).collect();
+        assert_eq!(labels, vec!["LinearScan", "PQ"]);
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -1,0 +1,33 @@
+//! Parameter-study support for the Figure 4/5/6/10 family: those binaries
+//! measure *HD-Index variants* (custom construction and query parameters),
+//! not the comparative lineup, so they build the variant here and hand it to
+//! the generic measurement core ([`methods::run_built`]).
+
+use crate::methods::{self, MethodOutcome, Workload};
+use hd_core::topk::Neighbor;
+use hd_index::{HdIndex, HdIndexParams, QueryParams};
+use std::path::Path;
+use std::time::Instant;
+
+/// Builds an HD-Index variant with explicit construction parameters and
+/// serve-time [`QueryParams`] (filter kind, α/β/γ), then measures it with
+/// the same generic runner the registry uses. `qp.k` is ignored — `k` rules.
+pub fn run_hd_variant(
+    w: &Workload,
+    k: usize,
+    truth: &[Vec<Neighbor>],
+    dir: &Path,
+    params: &HdIndexParams,
+    qp: &QueryParams,
+) -> MethodOutcome {
+    let t0 = Instant::now();
+    let mut index = match HdIndex::build(&w.data, params, dir.join("hdindex")) {
+        Ok(i) => i,
+        Err(e) => return MethodOutcome::NotPossible("HD-Index", e.to_string()),
+    };
+    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let mut qp = *qp;
+    qp.k = k;
+    index.set_serve_params(qp);
+    methods::run_built("HD-Index", w, k, truth, &index, build_ms)
+}

@@ -18,7 +18,12 @@
 //! * [`linalg`] — dense matrices, Jacobi eigendecomposition, SVD, and the
 //!   orthogonal Procrustes solver used by OPQ.
 //! * [`util`] — small numeric helpers shared by the benchmark harness.
+//! * [`api`] — the unified [`api::AnnIndex`] trait every index structure
+//!   (HD-Index, the serving engine, and all baselines) implements, plus the
+//!   request/response/accounting types that make them interchangeable
+//!   behind `Box<dyn AnnIndex>`.
 
+pub mod api;
 pub mod dataset;
 pub mod distance;
 pub mod ground_truth;
@@ -30,6 +35,7 @@ pub mod pool;
 pub mod topk;
 pub mod util;
 
+pub use api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest, SearchTrace};
 pub use dataset::{Dataset, DatasetProfile};
 pub use distance::{l2, l2_sq, l2_sq_batch, l2_sq_bounded, l2_sq_bounded_traced};
 pub use ground_truth::ground_truth_knn;

@@ -3,6 +3,7 @@
 use crate::config::EngineParams;
 use crate::metrics::{EngineMetrics, EngineStats};
 use crate::shard::{global_of, shard_of, ShardSet};
+use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest};
 use hd_core::dataset::Dataset;
 use hd_core::pool::WorkerPool;
 use hd_core::topk::{Neighbor, TopK};
@@ -39,6 +40,10 @@ pub struct Engine {
     /// invariant (`global id n → shard n mod S`) holds under concurrency.
     append_gate: Mutex<u64>,
     dir: PathBuf,
+    /// Default query-time parameters used when the engine is driven through
+    /// the [`hd_core::api::AnnIndex`] trait. Set with
+    /// [`Engine::set_serve_params`].
+    serve: QueryParams,
 }
 
 impl std::fmt::Debug for Engine {
@@ -66,6 +71,7 @@ impl Engine {
             metrics: EngineMetrics::new(),
             append_gate: Mutex::new(n),
             dir,
+            serve: QueryParams::default(),
         })
     }
 
@@ -82,6 +88,7 @@ impl Engine {
             metrics: EngineMetrics::new(),
             append_gate: Mutex::new(n),
             dir,
+            serve: QueryParams::default(),
         })
     }
 
@@ -229,7 +236,10 @@ impl Engine {
     }
 
     /// Serving statistics: QPS, latency percentiles, aggregated IO.
-    pub fn stats(&self) -> EngineStats {
+    ///
+    /// (Named `serving_stats` so it cannot be confused with the unified
+    /// [`hd_core::api::AnnIndex::stats`] resource accounting.)
+    pub fn serving_stats(&self) -> EngineStats {
         self.metrics.snapshot(self.set.io_stats())
     }
 
@@ -265,5 +275,87 @@ impl Engine {
             .iter()
             .map(|s| s.index.read().memory_bytes())
             .sum()
+    }
+
+    /// The [`QueryParams`] used when the engine is queried through the
+    /// [`hd_core::api::AnnIndex`] trait.
+    pub fn serve_params(&self) -> &QueryParams {
+        &self.serve
+    }
+
+    /// Sets the trait-level default [`QueryParams`]. Per-call
+    /// [`hd_core::api::SearchRequest`] knobs still override α and γ; `k`
+    /// always comes from the request.
+    pub fn set_serve_params(&mut self, qp: QueryParams) {
+        self.serve = qp;
+    }
+
+}
+
+impl AnnIndex for Engine {
+    fn len(&self) -> u64 {
+        Engine::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        self.set.shards[0].index.read().dim()
+    }
+
+    /// One-query batch through the sharded pipeline; `candidates` → α per
+    /// RDB-tree of every shard, `refine` → γ.
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        let qp = self.serve.resolve(req, self.len() as usize);
+        Ok(SearchOutput::from_neighbors(Engine::search(self, query, &qp)?))
+    }
+
+    /// True batched execution: B·S shard tasks on the engine's worker pool,
+    /// exact-merged per query — result-identical to sequential
+    /// [`AnnIndex::search`] calls (the conformance suite checks this).
+    fn search_batch(&self, queries: &[&[f32]], req: &SearchRequest) -> io::Result<Vec<SearchOutput>> {
+        let k = req.k.min(self.len() as usize);
+        if k == 0 {
+            return Ok(queries.iter().map(|_| SearchOutput::default()).collect());
+        }
+        let qp = self.serve.resolve(&SearchRequest { k, ..*req }, self.len() as usize);
+        let answers = Engine::search_batch(self, queries.iter().copied(), &qp)?;
+        Ok(answers.into_iter().map(SearchOutput::from_neighbors).collect())
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Peak construction memory: every shard builds in parallel, so the
+        // sort-buffer estimate applies to the whole corpus at once (same
+        // per-entry formula as `HdIndex`).
+        let shard0 = self.set.shards[0].index.read();
+        let params = shard0.params().clone();
+        let dim = shard0.dim();
+        drop(shard0);
+        let n = self.len() as usize;
+        let m = params.num_references;
+        let eta = dim.div_ceil(params.tau);
+        let entry = eta * params.hilbert_order as usize / 8 + 8 + 4 * m + 48;
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: n * (entry + 4 * m),
+            io: self.serving_stats().io,
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        Engine::reset_io_stats(self);
+    }
+
+    fn lifecycle(&mut self) -> Option<&mut dyn Lifecycle> {
+        Some(self)
+    }
+}
+
+impl Lifecycle for Engine {
+    fn insert(&mut self, vector: &[f32]) -> io::Result<u64> {
+        Engine::insert(self, vector)
+    }
+
+    fn delete(&mut self, id: u64) -> io::Result<()> {
+        Engine::delete(self, id)
     }
 }

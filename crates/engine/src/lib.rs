@@ -31,7 +31,7 @@
 //! let engine = Engine::build(&data, &params, "/tmp/hd_engine_demo").unwrap();
 //! let batch: Vec<&[f32]> = queries.iter().collect();
 //! let answers = engine.search_batch(batch, &QueryParams::default()).unwrap();
-//! println!("{} answers, {:?}", answers.len(), engine.stats());
+//! println!("{} answers, {:?}", answers.len(), engine.serving_stats());
 //! ```
 
 pub mod config;

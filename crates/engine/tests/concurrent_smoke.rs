@@ -78,7 +78,7 @@ fn concurrent_batches_with_interleaved_writes() {
 
     // Bookkeeping survived the race.
     assert_eq!(engine.len(), 600 + INSERTS as u64);
-    let stats = engine.stats();
+    let stats = engine.serving_stats();
     assert_eq!(
         stats.queries,
         (CALLERS * BATCHES_PER_CALLER * BATCH) as u64,

@@ -1,5 +1,6 @@
 //! Construction and query parameters, and the paper's leaf-order formula.
 
+use hd_core::api::SearchRequest;
 use hd_core::dataset::DatasetProfile;
 
 /// Reference-object selection algorithm (§3.3, §5.2.2).
@@ -152,6 +153,29 @@ impl QueryParams {
                 self.gamma
             );
         }
+    }
+}
+
+impl QueryParams {
+    /// Resolves a trait-level [`SearchRequest`] against these serve-time
+    /// defaults for an index of `n` objects: `k` comes from the request,
+    /// `candidates`/`refine` override α/γ, everything is clamped into
+    /// `[1, n]` (the paper's `min(·, n)` convention), and β is re-derived
+    /// from the filter kind (β = γ in triangular mode, `β ≥ γ` enforced in
+    /// Ptolemaic mode). Shared by every `AnnIndex` impl that speaks
+    /// [`QueryParams`] — `HdIndex` and the serving engine — so budget
+    /// resolution cannot drift between them.
+    pub fn resolve(&self, req: &SearchRequest, n: usize) -> QueryParams {
+        let n = n.max(1);
+        let mut qp = *self;
+        qp.k = req.k;
+        qp.alpha = req.candidates.unwrap_or(qp.alpha).clamp(1, n);
+        qp.gamma = req.refine.unwrap_or(qp.gamma).clamp(1, n);
+        match qp.filter {
+            FilterKind::TriangularOnly => qp.beta = qp.gamma,
+            FilterKind::TriangularPtolemaic => qp.beta = qp.beta.clamp(qp.gamma, n.max(qp.gamma)),
+        }
+        qp
     }
 }
 

@@ -6,6 +6,7 @@ use crate::filters::{keep_smallest, ptolemaic_lb, triangular_lb};
 use crate::rdb;
 use crate::reference::{self, ReferenceSet};
 use hd_btree::BTree;
+use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest};
 use hd_core::dataset::Dataset;
 use hd_core::distance::l2_sq_bounded_traced;
 use hd_core::partition::Partitioning;
@@ -18,25 +19,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Per-query diagnostics mirroring the paper's cost model (§4.4.1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct QueryTrace {
-    /// Candidates actually pulled from the RDB-trees (≤ α·τ).
-    pub scanned: usize,
-    /// Final candidate-set size κ (γ ≤ κ ≤ τ·γ).
-    pub kappa: usize,
-    /// Pages physically read during the query (the paper's "random disk
-    /// accesses" when caches are off).
-    pub physical_reads: u64,
-    /// Page requests including buffer-pool hits.
-    pub logical_reads: u64,
-    /// Exact-distance evaluations attempted during refinement (κ minus
-    /// tombstoned candidates).
-    pub refine_evals: usize,
-    /// Refinement evaluations the bounded kernel abandoned before touching
-    /// every dimension — the arithmetic saved by the running top-k bound.
-    /// `refine_abandoned / refine_evals` is the query's pruning rate.
-    pub refine_abandoned: usize,
-}
+///
+/// Since the unified index API landed this is the workspace-wide
+/// [`hd_core::api::SearchTrace`]; the historical name is kept as an alias
+/// because every HD-Index entry point and test speaks it.
+pub type QueryTrace = hd_core::api::SearchTrace;
 
 /// Per-tree outcome of candidate generation: surviving ids + scanned count.
 type TreeCandidates = io::Result<(Vec<u64>, usize)>;
@@ -123,6 +110,10 @@ pub struct HdIndex {
     tombstones: HashSet<u64>,
     dim: usize,
     dir: PathBuf,
+    /// Default query-time parameters used when this index is driven through
+    /// the [`hd_core::api::AnnIndex`] trait (which only carries `k` and
+    /// generic budget knobs). Set with [`HdIndex::set_serve_params`].
+    serve: QueryParams,
 }
 
 impl std::fmt::Debug for HdIndex {
@@ -249,6 +240,7 @@ impl HdIndex {
             tombstones: HashSet::new(),
             dim,
             dir,
+            serve: QueryParams::default(),
         };
         index.persist_meta()?;
         index.reset_io_stats();
@@ -317,6 +309,7 @@ impl HdIndex {
             tombstones: meta.tombstones.into_iter().collect(),
             dim: meta.dim,
             dir,
+            serve: QueryParams::default(),
         };
         index.reset_io_stats();
         Ok(index)
@@ -356,6 +349,19 @@ impl HdIndex {
 
     pub fn params(&self) -> &HdIndexParams {
         &self.params
+    }
+
+    /// The [`QueryParams`] used when this index is queried through the
+    /// [`hd_core::api::AnnIndex`] trait.
+    pub fn serve_params(&self) -> &QueryParams {
+        &self.serve
+    }
+
+    /// Sets the trait-level default [`QueryParams`] (filter kind, α/β/γ).
+    /// Per-call [`hd_core::api::SearchRequest`] knobs still override α and
+    /// γ; `k` always comes from the request.
+    pub fn set_serve_params(&mut self, qp: QueryParams) {
+        self.serve = qp;
     }
 
     pub fn references(&self) -> &ReferenceSet {
@@ -682,6 +688,67 @@ impl HdIndex {
     /// Height of tree `g`.
     pub fn tree_height(&self, g: usize) -> u32 {
         self.trees[g].height()
+    }
+
+}
+
+impl AnnIndex for HdIndex {
+    fn len(&self) -> u64 {
+        self.heap.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Maps the request onto [`QueryParams`]: `candidates` → α (per tree),
+    /// `refine` → γ, filter kind and β from [`HdIndex::serve_params`]
+    /// ([`QueryParams::resolve`]).
+    fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        let qp = self.serve.resolve(req, self.heap.len() as usize);
+        if req.trace {
+            let (neighbors, trace) = self.knn_traced(query, &qp)?;
+            Ok(SearchOutput {
+                neighbors,
+                trace: Some(trace),
+            })
+        } else {
+            Ok(SearchOutput::from_neighbors(self.knn(query, &qp)?))
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        // Peak construction memory: the per-tree sort buffer dominates
+        // (keys + values + Vec headers) plus the n×m reference-distance
+        // table.
+        let n = self.heap.len() as usize;
+        let m = self.params.num_references;
+        let eta = self.dim.div_ceil(self.params.tau);
+        let entry = eta * self.params.hilbert_order as usize / 8 + 8 + 4 * m + 48;
+        IndexStats {
+            disk_bytes: self.disk_bytes(),
+            memory_bytes: self.memory_bytes(),
+            build_memory_bytes: n * (entry + 4 * m),
+            io: self.io_stats(),
+        }
+    }
+
+    fn reset_io_stats(&self) {
+        HdIndex::reset_io_stats(self);
+    }
+
+    fn lifecycle(&mut self) -> Option<&mut dyn Lifecycle> {
+        Some(self)
+    }
+}
+
+impl Lifecycle for HdIndex {
+    fn insert(&mut self, vector: &[f32]) -> io::Result<u64> {
+        HdIndex::insert(self, vector)
+    }
+
+    fn delete(&mut self, id: u64) -> io::Result<()> {
+        HdIndex::delete(self, id)
     }
 }
 

@@ -17,27 +17,10 @@ pub struct IoStats {
     physical_writes: AtomicU64,
 }
 
-/// A point-in-time copy of [`IoStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct IoSnapshot {
-    /// Page requests, whether or not they hit the buffer pool.
-    pub logical_reads: u64,
-    /// Page reads that went to the pager (i.e., "random disk accesses").
-    pub physical_reads: u64,
-    /// Page writes that went to the pager.
-    pub physical_writes: u64,
-}
-
-impl IoSnapshot {
-    /// Accesses between two snapshots (`self` taken after `earlier`).
-    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
-        IoSnapshot {
-            logical_reads: self.logical_reads - earlier.logical_reads,
-            physical_reads: self.physical_reads - earlier.physical_reads,
-            physical_writes: self.physical_writes - earlier.physical_writes,
-        }
-    }
-}
+/// A point-in-time copy of [`IoStats`]. The struct itself lives in
+/// `hd_core::api` so the unified `AnnIndex::stats()` can report IO without
+/// depending on this crate; it is re-exported here unchanged.
+pub use hd_core::api::IoSnapshot;
 
 impl IoStats {
     pub fn new() -> Self {

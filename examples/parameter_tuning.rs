@@ -4,14 +4,19 @@
 //! methodology behind the paper's recommended defaults (m=10, τ=8, α=4096,
 //! α/γ=4, triangular-only filtering).
 //!
+//! Construction parameters vary per *build*; the α/γ sweeps ride the
+//! per-call budget knobs of the unified `AnnIndex` request instead of
+//! rebuilding anything.
+//!
 //! ```text
 //! cargo run --release --example parameter_tuning
 //! ```
 
+use hd_index_repro::hd_core::api::{AnnIndex, SearchRequest};
 use hd_index_repro::hd_core::dataset::{generate, DatasetProfile};
 use hd_index_repro::hd_core::ground_truth::ground_truth_knn;
 use hd_index_repro::hd_core::metrics::{ids, mean_average_precision};
-use hd_index_repro::hd_index::{FilterKind, HdIndex, HdIndexParams, QueryParams};
+use hd_index_repro::hd_index::{HdIndex, HdIndexParams, QueryParams};
 
 fn main() -> std::io::Result<()> {
     let profile = DatasetProfile::SIFT;
@@ -21,15 +26,19 @@ fn main() -> std::io::Result<()> {
     let base = HdIndexParams::for_profile(&profile);
     let scratch = std::env::temp_dir().join("hd_index_tuning");
 
-    let evaluate = |index: &HdIndex, qp: &QueryParams| -> (f64, std::time::Duration) {
+    // Everything below talks to the index through the trait object — the
+    // sweep harness would work unchanged for any registered method.
+    let evaluate = |index: &dyn AnnIndex, req: &SearchRequest| -> (f64, std::time::Duration) {
         let t0 = std::time::Instant::now();
         let approx: Vec<Vec<u64>> = queries
             .iter()
-            .map(|q| ids(&index.knn(q, qp).expect("query IO")))
+            .map(|q| ids(&index.search(q, req).expect("query IO").neighbors))
             .collect();
         let per_query = t0.elapsed() / queries.len() as u32;
         (mean_average_precision(&truth_ids, &approx), per_query)
     };
+
+    let req = |alpha: usize, gamma: usize| SearchRequest::new(10).with_candidates(alpha).with_refine(gamma);
 
     println!("-- sweep m (reference objects), τ=8, α=2048, γ=512 --");
     for m in [2usize, 5, 10, 15] {
@@ -38,7 +47,7 @@ fn main() -> std::io::Result<()> {
             ..base.clone()
         };
         let index = HdIndex::build(&data, &params, scratch.join(format!("m{m}")))?;
-        let (map, t) = evaluate(&index, &QueryParams::triangular(2048, 512, 10));
+        let (map, t) = evaluate(&index, &req(2048, 512));
         println!("  m={m:<3} MAP@10={map:.3}  {t:.2?}/query");
     }
 
@@ -49,28 +58,26 @@ fn main() -> std::io::Result<()> {
             ..base.clone()
         };
         let index = HdIndex::build(&data, &params, scratch.join(format!("t{tau}")))?;
-        let (map, t) = evaluate(&index, &QueryParams::triangular(2048, 512, 10));
+        let (map, t) = evaluate(&index, &req(2048, 512));
         println!("  τ={tau:<3} MAP@10={map:.3}  {t:.2?}/query");
     }
 
     println!("-- sweep α (candidates/tree) at α/γ=4, defaults otherwise --");
-    let index = HdIndex::build(&data, &base, scratch.join("alpha"))?;
+    let mut index = HdIndex::build(&data, &base, scratch.join("alpha"))?;
     for alpha in [512usize, 1024, 2048, 4096, 8192] {
-        let qp = QueryParams::triangular(alpha, alpha / 4, 10);
-        let (map, t) = evaluate(&index, &qp);
+        let (map, t) = evaluate(&index, &req(alpha, alpha / 4));
         println!("  α={alpha:<5} MAP@10={map:.3}  {t:.2?}/query");
     }
 
     println!("-- filters at α=2048 (triangular vs +Ptolemaic) --");
+    // Filter choice is a serve-time default (`set_serve_params`), not a
+    // per-request knob — the request API stays method-agnostic.
     for (label, qp) in [
         ("triangular ", QueryParams::triangular(2048, 512, 10)),
         ("tri+ptolemy", QueryParams::ptolemaic(2048, 1024, 512, 10)),
     ] {
-        assert!(matches!(
-            qp.filter,
-            FilterKind::TriangularOnly | FilterKind::TriangularPtolemaic
-        ));
-        let (map, t) = evaluate(&index, &qp);
+        index.set_serve_params(qp);
+        let (map, t) = evaluate(&index, &SearchRequest::new(10));
         println!("  {label} MAP@10={map:.3}  {t:.2?}/query");
     }
 
