@@ -9,7 +9,7 @@
 //! corner of the paper's quality/efficiency/memory triangle (Fig. 9).
 
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq;
+use hd_core::metric::Metric;
 use hd_core::topk::{Neighbor, TopK};
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -47,6 +47,11 @@ struct NodeLinks {
 }
 
 /// The HNSW graph plus an in-memory copy of the vectors.
+///
+/// The graph serves the metric of the dataset it was built from — all four
+/// are supported: greedy beam search only needs *comparable* scores, not
+/// metric axioms, which is why HNSW is the standard graph index for
+/// inner-product (dot) workloads where tree/reference methods are unsound.
 pub struct Hnsw {
     params: HnswParams,
     dim: usize,
@@ -55,6 +60,7 @@ pub struct Hnsw {
     entry: u32,
     top_layer: usize,
     level_mult: f64,
+    metric: Metric,
 }
 
 impl std::fmt::Debug for Hnsw {
@@ -98,6 +104,7 @@ impl Hnsw {
             entry: 0,
             top_layer: 0,
             level_mult: 1.0 / (params.m as f64).ln(),
+            metric: data.metric(),
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
         for p in data.iter() {
@@ -113,7 +120,7 @@ impl Hnsw {
 
     #[inline]
     fn dist(&self, id: u32, q: &[f32]) -> f32 {
-        l2_sq(q, self.vec_of(id))
+        self.metric.key(q, self.vec_of(id))
     }
 
     fn max_links(&self, layer: usize) -> usize {
@@ -124,9 +131,14 @@ impl Hnsw {
         }
     }
 
-    /// Inserts one point (HNSW Alg. 1).
+    /// Inserts one point (HNSW Alg. 1). Raw vectors are accepted for every
+    /// metric; normalization (cosine) is applied here. Dataset rows arrive
+    /// pre-normalized; renormalizing them can shift last-ulp bits (‖v‖ is
+    /// rarely exactly 1.0f32), which is irrelevant to an approximate graph.
     pub fn insert(&mut self, point: &[f32], rng: &mut impl Rng) {
         assert_eq!(point.len(), self.dim, "dimensionality mismatch");
+        let mut pbuf = Vec::new();
+        let point = self.metric.normalized_query(point, &mut pbuf);
         let id = self.nodes.len() as u32;
         let level = (-rng.gen_range(f64::EPSILON..1.0).ln() * self.level_mult).floor() as usize;
         self.vectors.extend_from_slice(point);
@@ -260,7 +272,7 @@ impl Hnsw {
             }
             let dominated = selected
                 .iter()
-                .any(|&(_, s)| l2_sq(self.vec_of(c), self.vec_of(s)) < d);
+                .any(|&(_, s)| self.metric.key(self.vec_of(c), self.vec_of(s)) < d);
             if !dominated {
                 selected.push((d, c));
             }
@@ -293,6 +305,8 @@ impl Hnsw {
         if k == 0 {
             return Vec::new();
         }
+        let mut qbuf = Vec::new();
+        let query = self.metric.normalized_query(query, &mut qbuf);
         let mut ep = self.entry;
         for layer in (1..=self.top_layer).rev() {
             ep = self.greedy_closest(query, ep, layer);
@@ -305,7 +319,7 @@ impl Hnsw {
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {
-            nb.dist = nb.dist.sqrt();
+            nb.dist = self.metric.finalize(nb.dist);
         }
         out
     }
@@ -349,6 +363,10 @@ impl AnnIndex for Hnsw {
         self.dim
     }
 
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// `candidates` overrides the dynamic list size `ef` (default: the
     /// build-time `ef_search`, floored at 2k — the paper's §5 operating
     /// point); `refine` does not apply.
@@ -358,7 +376,7 @@ impl AnnIndex for Hnsw {
     }
 
     fn stats(&self) -> IndexStats {
-        IndexStats::in_memory(self.memory_bytes())
+        IndexStats::in_memory(self.memory_bytes()).with_metric(self.metric)
     }
 }
 
@@ -388,6 +406,34 @@ mod tests {
         let s = score_workload(&truth, &approx);
         assert!(s.recall > 0.8, "HNSW recall too low: {}", s.recall);
         assert!(s.map > 0.7, "HNSW MAP too low: {}", s.map);
+    }
+
+    #[test]
+    fn cosine_graph_reaches_high_recall_against_cosine_truth() {
+        let (raw, queries) = generate(&DatasetProfile::GLOVE, 3000, 15, 66);
+        let data = raw.with_metric(Metric::Cosine);
+        let h = Hnsw::build(&data, HnswParams::default());
+        assert_eq!(hd_core::api::AnnIndex::metric(&h), Metric::Cosine);
+        let truth = ground_truth_knn(&data, &queries, 10, 4);
+        let approx: Vec<Vec<Neighbor>> = queries.iter().map(|q| h.knn(q, 10)).collect();
+        let s = score_workload(&truth, &approx);
+        assert!(s.recall > 0.8, "cosine HNSW recall too low: {}", s.recall);
+    }
+
+    #[test]
+    fn dot_graph_finds_high_inner_product_neighbors() {
+        let (raw, queries) = generate(&DatasetProfile::GLOVE, 2000, 10, 67);
+        let data = raw.clone().with_metric(Metric::Dot);
+        let h = Hnsw::build(&data, HnswParams::default());
+        let truth = ground_truth_knn(&data, &queries, 10, 4);
+        let approx: Vec<Vec<Neighbor>> = queries.iter().map(|q| h.knn(q, 10)).collect();
+        let s = score_workload(&truth, &approx);
+        assert!(s.recall > 0.6, "dot HNSW recall too low: {}", s.recall);
+        // Reported distances are negated inner products.
+        let q = queries.get(0);
+        for nb in &approx[0] {
+            assert_eq!(nb.dist, -hd_core::distance::dot(q, raw.get(nb.id as usize)));
+        }
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl std::fmt::Debug for IDistance {
 impl IDistance {
     /// Builds the index in `dir` (files `idistance.bt`, `idistance.heap`).
     pub fn build(data: &Dataset, params: IDistanceParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        crate::require_l2(
+            data,
+            "iDistance",
+            "its one-dimensional key mapping and radius-expansion arithmetic assume \
+             Euclidean geometry",
+        )?;
         assert!(!data.is_empty(), "cannot index an empty dataset");
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -326,6 +332,7 @@ impl AnnIndex for IDistance {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: self.build_memory_bytes(self.heap.len() as usize, self.heap.dim()),
             io: self.io_stats(),
+            metric: hd_core::metric::Metric::L2,
         }
     }
 

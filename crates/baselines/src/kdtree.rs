@@ -4,12 +4,19 @@
 //!
 //! Points are stored **leaf-contiguous**: after the recursive median build,
 //! the point table is permuted so every leaf owns one flat row-major block,
-//! scored in a single [`l2_sq_batch`] sweep (original ids are carried in a
-//! side table, so the public API still speaks caller ids).
+//! scored in a single [`Metric::key_batch`] sweep (original ids are carried
+//! in a side table, so the public API still speaks caller ids).
+//!
+//! The tree serves every *additive per-axis* metric — L2, L1, and
+//! cosine-as-normalized-L2 — because its split-plane pruning bound is a sum
+//! of one term per constrained axis (`gap²` for L2/Cosine, `|gap|` for L1),
+//! each a valid per-axis lower bound. The dot product admits no such
+//! spatial bound (a far cell can hold the best inner product), so it is
+//! refused at build time.
 
 use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq_batch;
+use hd_core::metric::Metric;
 use hd_core::topk::{Neighbor, TopK};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -42,14 +49,25 @@ pub struct KdTree {
     rows: Vec<u32>,
     root: Node,
     len: usize,
+    metric: Metric,
 }
 
 const LEAF_SIZE: usize = 16;
 
 impl KdTree {
-    /// Builds by recursive median splits (axes cycled by depth). An empty
-    /// dataset yields an empty (but queryable) tree.
+    /// Builds by recursive median splits (axes cycled by depth), serving
+    /// the dataset's recorded metric. An empty dataset yields an empty
+    /// (but queryable) tree.
+    ///
+    /// # Panics
+    /// Panics for [`Metric::Dot`]: the split-plane pruning bound needs a
+    /// per-axis distance decomposition, which the inner product lacks.
     pub fn build(data: &Dataset) -> Self {
+        assert!(
+            data.metric().is_metric_space(),
+            "kd-tree pruning requires a per-axis metric decomposition; {} has none",
+            data.metric()
+        );
         let dim = data.dim();
         let points = data.as_flat();
         let n = data.len();
@@ -70,6 +88,19 @@ impl KdTree {
             rows,
             root,
             len: n,
+            metric: data.metric(),
+        }
+    }
+
+    /// The per-axis contribution of a split-plane gap to the pruning bound:
+    /// `gap²` for L2/Cosine (whose key is squared L2), `|gap|` for L1. Both
+    /// keys are sums of independent per-axis terms, which is exactly what
+    /// lets the bound replace one axis's term as the traversal descends.
+    #[inline]
+    fn axis_term(&self, gap: f32) -> f32 {
+        match self.metric {
+            Metric::L1 => gap.abs(),
+            _ => gap * gap,
         }
     }
 
@@ -119,12 +150,15 @@ impl KdTree {
             + self.len * 8
     }
 
-    /// Begins an incremental NN traversal from `query`.
+    /// Begins an incremental NN traversal from `query` (normalized here
+    /// when the metric requires it, so callers pass raw queries).
     pub fn incremental_nn<'a>(&'a self, query: &[f32]) -> IncrementalNn<'a> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let mut query = query.to_vec();
+        self.metric.normalize_for_index(&mut query);
         let mut it = IncrementalNn {
             tree: self,
-            query: query.to_vec(),
+            query,
             heap: BinaryHeap::new(),
             scratch: Vec::with_capacity(LEAF_SIZE),
         };
@@ -170,7 +204,8 @@ impl Ord for HeapItem<'_> {
     }
 }
 
-/// Iterator yielding `(id, squared_distance)` in non-decreasing distance.
+/// Iterator yielding `(id, key)` in non-decreasing metric key (squared L2
+/// for L2/Cosine trees, the L1 sum for L1 trees).
 pub struct IncrementalNn<'a> {
     tree: &'a KdTree,
     query: Vec<f32>,
@@ -190,11 +225,11 @@ impl Iterator for IncrementalNn<'_> {
                     Node::Leaf { start, end } => {
                         // The leaf's rows are one contiguous block: score
                         // them in a single batched sweep (bit-identical to
-                        // per-point `l2_sq`).
+                        // the per-point metric key).
                         let (s, e) = (*start as usize, *end as usize);
                         let dim = self.tree.dim;
                         let block = &self.tree.points[s * dim..e * dim];
-                        l2_sq_batch(&self.query, block, &mut self.scratch);
+                        self.tree.metric.key_batch(&self.query, block, &mut self.scratch);
                         for (r, &d) in self.scratch.iter().enumerate() {
                             self.heap.push(HeapItem {
                                 dist: d,
@@ -224,7 +259,7 @@ impl Iterator for IncrementalNn<'_> {
                         let gap = q - *value;
                         let mut far_bounds = bounds;
                         // Replace (don't stack) the bound for this axis.
-                        let term = gap * gap;
+                        let term = self.tree.axis_term(gap);
                         let mut far_dist = dist;
                         if let Some(slot) = far_bounds.iter_mut().find(|(a, _)| a == axis) {
                             if term > slot.1 {
@@ -256,26 +291,30 @@ impl AnnIndex for KdTree {
         self.dim
     }
 
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Exact search by incremental-NN enumeration; ties at the k-th
     /// distance are resolved by id through the [`TopK`] ordering. The
     /// budget knobs do not apply.
     fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
         let mut tk = TopK::new(req.k);
-        for (id, d2) in self.incremental_nn(query) {
-            if tk.len() == req.k && d2 > tk.bound() {
+        for (id, key) in self.incremental_nn(query) {
+            if tk.len() == req.k && key > tk.bound() {
                 break;
             }
-            tk.push(Neighbor::new(u64::from(id), d2));
+            tk.push(Neighbor::new(u64::from(id), key));
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {
-            nb.dist = nb.dist.sqrt();
+            nb.dist = self.metric.finalize(nb.dist);
         }
         Ok(SearchOutput::from_neighbors(out))
     }
 
     fn stats(&self) -> IndexStats {
-        IndexStats::in_memory(self.memory_bytes())
+        IndexStats::in_memory(self.memory_bytes()).with_metric(self.metric)
     }
 }
 
@@ -351,6 +390,53 @@ mod tests {
                 "id {id} lost its point in the leaf permutation"
             );
         }
+    }
+
+    #[test]
+    fn l1_tree_enumerates_in_true_l1_order() {
+        use hd_core::distance::l1;
+        let pts = random_points(400, 5, 3);
+        let data = Dataset::from_flat(5, pts.clone()).with_metric(Metric::L1);
+        let tree = KdTree::build(&data);
+        let q: Vec<f32> = random_points(1, 5, 33);
+        let mut prev = -1.0f32;
+        let mut count = 0;
+        for (id, key) in tree.incremental_nn(&q) {
+            assert!(key >= prev, "L1 key regressed: {key} < {prev}");
+            assert_eq!(
+                key,
+                l1(&q, &pts[id as usize * 5..(id as usize + 1) * 5]),
+                "key is not the true L1 distance of id {id}"
+            );
+            prev = key;
+            count += 1;
+        }
+        assert_eq!(count, 400);
+    }
+
+    #[test]
+    fn cosine_tree_matches_exact_cosine_scan() {
+        use hd_core::ground_truth::knn_exact;
+        let pts = random_points(300, 6, 4);
+        let data = Dataset::from_flat(6, pts).with_metric(Metric::Cosine);
+        let tree = KdTree::build(&data);
+        for seed in 0..4 {
+            let q: Vec<f32> = random_points(1, 6, 200 + seed);
+            let got = hd_core::api::AnnIndex::search(
+                &tree,
+                &q,
+                &hd_core::api::SearchRequest::new(8),
+            )
+            .unwrap();
+            assert_eq!(got.neighbors, knn_exact(&data, &q, 8), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per-axis metric decomposition")]
+    fn dot_trees_are_refused() {
+        let data = Dataset::from_flat(2, vec![1.0, 2.0]).with_metric(Metric::Dot);
+        KdTree::build(&data);
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //!
 //! [`kdtree`] is the in-memory incremental-NN substrate SRS searches its
 //! 6-dimensional projected space with.
+//!
+//! **Metric support.** The exact references ([`linear`], [`kdtree`]) and
+//! [`hnsw`] serve the dataset's recorded [`hd_core::metric::Metric`];
+//! [`multicurves`] serves every true metric. The rest are structurally
+//! L2-bound — Euclidean LSH families, PQ/OPQ's ADC tables, the VA-file's
+//! per-dimension bounds, iDistance's radius arithmetic — and refuse other
+//! metrics at build time via [`require_l2`] rather than silently serving
+//! wrong distances.
 
 pub mod hnsw;
 pub mod idistance;
@@ -34,3 +42,17 @@ pub use idistance::IDistance;
 pub use linear::LinearScan;
 pub use multicurves::Multicurves;
 pub use vafile::VaFile;
+
+/// Refuses a dataset whose metric an L2-only method cannot serve.
+/// `method` names the method; `why` names the L2-bound machinery (shown in
+/// the error so the user learns *what* would break, not just that it does).
+pub fn require_l2(data: &hd_core::Dataset, method: &str, why: &str) -> std::io::Result<()> {
+    let m = data.metric();
+    if m != hd_core::metric::Metric::L2 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{method} is L2-only ({why}); the dataset records metric {m}"),
+        ));
+    }
+    Ok(())
+}

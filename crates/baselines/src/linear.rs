@@ -4,48 +4,62 @@
 //! Two flavors: an in-memory scan (the practical gold standard for quality
 //! evaluation) and a disk scan over a [`VectorHeap`] that pays one page read
 //! per page of data — the cost profile the VA-file line of work assumes.
+//!
+//! Both serve **every** [`Metric`]: a brute-force scan needs nothing from
+//! the distance function, so this is the one method that answers
+//! inner-product (dot) workloads exactly. Metrics with a bounded kernel
+//! still abandon hopeless evaluations early; dot evaluates fully.
 
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq_bounded;
+use hd_core::metric::Metric;
 use hd_core::topk::{Neighbor, TopK};
 use hd_storage::VectorHeap;
 use std::io;
 use std::path::Path;
 use hd_core::api::{AnnIndex, IndexStats, SearchOutput, SearchRequest};
 
-/// In-memory exhaustive scan.
+/// In-memory exhaustive scan, in the dataset's recorded metric.
 #[derive(Debug)]
 pub struct LinearScan<'a> {
     data: &'a Dataset,
+    metric: Metric,
 }
 
 impl<'a> LinearScan<'a> {
     pub fn new(data: &'a Dataset) -> Self {
-        Self { data }
+        Self {
+            data,
+            metric: data.metric(),
+        }
     }
 
-    /// Exact k nearest neighbors, distances in true L2.
+    /// Exact k nearest neighbors, distances in the metric's reported scale.
+    /// Queries arrive raw; the scan normalizes them itself when the metric
+    /// requires it.
     ///
     /// Scanning rides the bounded kernel: once the top-k heap is full, a
     /// point whose partial distance exceeds the current k-th radius is
     /// abandoned mid-evaluation. Exactness is unaffected — the kernel only
-    /// abandons points a full evaluation would also have rejected.
+    /// abandons points a full evaluation would also have rejected (and
+    /// metrics without early abandonment always evaluate fully).
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         let k = k.min(self.data.len());
         if k == 0 {
             return Vec::new();
         }
+        let mut qbuf = Vec::new();
+        let query = self.metric.normalized_query(query, &mut qbuf);
         let mut tk = TopK::new(k);
         for (i, p) in self.data.iter().enumerate() {
             let bound = tk.bound();
-            let d = l2_sq_bounded(query, p, bound);
+            let d = self.metric.key_bounded(query, p, bound);
             if d <= bound {
                 tk.push(Neighbor::new(i as u64, d));
             }
         }
         let mut out = tk.into_sorted();
         for n in &mut out {
-            n.dist = n.dist.sqrt();
+            n.dist = self.metric.finalize(n.dist);
         }
         out
     }
@@ -56,10 +70,13 @@ impl<'a> LinearScan<'a> {
     }
 }
 
-/// Disk-resident exhaustive scan over a paged heap file.
+/// Disk-resident exhaustive scan over a paged heap file, in the metric of
+/// the dataset it was built from (vectors are stored in index form, i.e.
+/// unit-normalized for cosine).
 #[derive(Debug)]
 pub struct DiskLinearScan {
     heap: VectorHeap,
+    metric: Metric,
 }
 
 impl DiskLinearScan {
@@ -70,7 +87,10 @@ impl DiskLinearScan {
             heap.append(p)?;
         }
         heap.pool().reset_stats();
-        Ok(Self { heap })
+        Ok(Self {
+            heap,
+            metric: data.metric(),
+        })
     }
 
     /// Exact k nearest neighbors, reading every vector from disk (scored
@@ -81,19 +101,21 @@ impl DiskLinearScan {
         if k == 0 {
             return Ok(Vec::new());
         }
+        let mut qbuf = Vec::new();
+        let query = self.metric.normalized_query(query, &mut qbuf);
         let mut tk = TopK::new(k);
         let mut buf = Vec::with_capacity(self.heap.dim());
         for id in 0..n {
             self.heap.get_into(id, &mut buf)?;
             let bound = tk.bound();
-            let d = l2_sq_bounded(query, &buf, bound);
+            let d = self.metric.key_bounded(query, &buf, bound);
             if d <= bound {
                 tk.push(Neighbor::new(id, d));
             }
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {
-            nb.dist = nb.dist.sqrt();
+            nb.dist = self.metric.finalize(nb.dist);
         }
         Ok(out)
     }
@@ -117,13 +139,17 @@ impl AnnIndex for LinearScan<'_> {
         self.data.dim()
     }
 
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Exact exhaustive scan; the budget knobs do not apply.
     fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
         Ok(SearchOutput::from_neighbors(self.knn(query, req.k)))
     }
 
     fn stats(&self) -> IndexStats {
-        IndexStats::in_memory(self.memory_bytes())
+        IndexStats::in_memory(self.memory_bytes()).with_metric(self.metric)
     }
 }
 
@@ -134,6 +160,10 @@ impl AnnIndex for DiskLinearScan {
 
     fn dim(&self) -> usize {
         self.heap.dim()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
     }
 
     /// Exact exhaustive disk scan; the budget knobs do not apply.
@@ -147,6 +177,7 @@ impl AnnIndex for DiskLinearScan {
             memory_bytes: self.heap.pool().memory_bytes(),
             build_memory_bytes: self.heap.len() as usize * self.heap.dim() * 4,
             io: self.heap.pool().stats(),
+            metric: self.metric,
         }
     }
 
@@ -167,6 +198,26 @@ mod tests {
         let scan = LinearScan::new(&data);
         for q in queries.iter() {
             assert_eq!(scan.knn(q, 7), knn_exact(&data, q, 7));
+        }
+    }
+
+    #[test]
+    fn every_metric_matches_metric_aware_ground_truth() {
+        let (raw, queries) = generate(&DatasetProfile::GLOVE, 300, 4, 5);
+        let dir = std::env::temp_dir().join("hd_baselines_linear_metric");
+        std::fs::create_dir_all(&dir).unwrap();
+        for m in Metric::ALL {
+            let data = raw.clone().with_metric(m);
+            let scan = LinearScan::new(&data);
+            assert_eq!(hd_core::api::AnnIndex::metric(&scan), m);
+            let path = dir.join(format!("scan_{m}_{}", std::process::id()));
+            let disk = DiskLinearScan::build(&data, &path, 1).unwrap();
+            for q in queries.iter() {
+                let expect = knn_exact(&data, q, 6);
+                assert_eq!(scan.knn(q, 6), expect, "{m}: in-memory scan diverged");
+                assert_eq!(disk.knn(q, 6).unwrap(), expect, "{m}: disk scan diverged");
+            }
+            std::fs::remove_file(path).ok();
         }
     }
 

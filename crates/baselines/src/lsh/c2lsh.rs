@@ -101,6 +101,7 @@ impl std::fmt::Debug for C2lsh {
 
 impl C2lsh {
     pub fn build(data: &Dataset, params: C2lshParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        crate::require_l2(data, "C2LSH", "its dynamic collision counting uses Euclidean LSH")?;
         assert!(!data.is_empty(), "cannot index an empty dataset");
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -289,6 +290,7 @@ impl AnnIndex for C2lsh {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: self.memory_bytes() + self.corpus_bytes,
             io: self.io_stats(),
+            metric: hd_core::metric::Metric::L2,
         }
     }
 

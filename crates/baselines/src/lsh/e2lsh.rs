@@ -73,6 +73,7 @@ impl std::fmt::Debug for E2lsh {
 
 impl E2lsh {
     pub fn build(data: &Dataset, params: E2lshParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        crate::require_l2(data, "E2LSH", "its p-stable hash family is Euclidean")?;
         assert!(!data.is_empty(), "cannot index an empty dataset");
         assert!(params.l >= 1 && params.k_hashes >= 1);
         let dir = dir.as_ref();
@@ -234,6 +235,7 @@ impl AnnIndex for E2lsh {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: self.memory_bytes() + self.n * self.heap.dim() * 4,
             io: self.io_stats(),
+            metric: hd_core::metric::Metric::L2,
         }
     }
 

@@ -90,6 +90,7 @@ impl std::fmt::Debug for Qalsh {
 
 impl Qalsh {
     pub fn build(data: &Dataset, params: QalshParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        crate::require_l2(data, "QALSH", "its query-aware hash family is Euclidean")?;
         assert!(!data.is_empty(), "cannot index an empty dataset");
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -337,6 +338,7 @@ impl AnnIndex for Qalsh {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: self.n * 24 + self.corpus_bytes,
             io: self.io_stats(),
+            metric: hd_core::metric::Metric::L2,
         }
     }
 

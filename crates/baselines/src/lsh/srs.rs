@@ -72,6 +72,11 @@ impl std::fmt::Debug for Srs {
 
 impl Srs {
     pub fn build(data: &Dataset, params: SrsParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        crate::require_l2(
+            data,
+            "SRS",
+            "its 2-stable Gaussian projections preserve Euclidean distances only",
+        )?;
         assert!(!data.is_empty(), "cannot index an empty dataset");
         assert!(params.m >= 1, "need at least one projection");
         let dir = dir.as_ref();
@@ -190,6 +195,7 @@ impl AnnIndex for Srs {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: self.memory_bytes() + self.heap.dim() * 4 * self.params.m,
             io: self.io_stats(),
+            metric: hd_core::metric::Metric::L2,
         }
     }
 

@@ -11,7 +11,7 @@
 //! — the paper's "NP: not possible due to an inherent limitation".
 
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq;
+use hd_core::metric::Metric;
 use hd_core::partition::Partitioning;
 use hd_core::topk::{Neighbor, TopK};
 use hd_btree::{leaf_capacity, BTree};
@@ -55,6 +55,7 @@ pub struct Multicurves {
     trees: Vec<BTree>,
     dim: usize,
     n: usize,
+    metric: Metric,
 }
 
 impl std::fmt::Debug for Multicurves {
@@ -73,8 +74,24 @@ impl Multicurves {
         assert!(!data.is_empty(), "cannot index an empty dataset");
         let dim = data.dim();
         assert!(params.tau <= dim, "more curves than dimensions");
+        let metric = data.metric();
+        if !metric.is_metric_space() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "Multicurves' Hilbert-adjacency candidates presuppose spatial \
+                     locality, which {metric} does not provide (paper: NP)"
+                ),
+            ));
+        }
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        // Same domain derivation as HdIndex: normalized (cosine) corpora
+        // occupy the unit ball regardless of the caller's domain.
+        let mut params = params;
+        if metric.normalizes_vectors() {
+            params.domain = (-1.0, 1.0);
+        }
         let partitioning = Partitioning::contiguous(dim, params.tau);
         let (lo, hi) = params.domain;
         let val_len = dim * 4;
@@ -135,6 +152,7 @@ impl Multicurves {
             trees,
             dim,
             n: data.len(),
+            metric,
         };
         mc.reset_io_stats();
         Ok(mc)
@@ -155,6 +173,8 @@ impl Multicurves {
         if k == 0 {
             return Ok(Vec::new());
         }
+        let mut qnorm = Vec::new();
+        let query = self.metric.normalized_query(query, &mut qnorm);
         // At most n distinct ids can ever be collected, whatever α says.
         let alpha = alpha.min(self.n);
         let mut tk = TopK::new(k);
@@ -185,7 +205,7 @@ impl Multicurves {
                     for c in cur.value().chunks_exact(4) {
                         vbuf.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
                     }
-                    tk.push(Neighbor::new(id, l2_sq(query, vbuf)));
+                    tk.push(Neighbor::new(id, self.metric.key(query, vbuf)));
                 }
             };
             while taken < alpha && (fwd.valid() || bwd.valid()) {
@@ -203,7 +223,7 @@ impl Multicurves {
         }
         let mut out = tk.into_sorted();
         for nb in &mut out {
-            nb.dist = nb.dist.sqrt();
+            nb.dist = self.metric.finalize(nb.dist);
         }
         Ok(out)
     }
@@ -257,6 +277,10 @@ impl AnnIndex for Multicurves {
         self.dim
     }
 
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// `candidates` overrides the per-curve budget α (clamped into
     /// `[1, n]`, the same convention as HD-Index); `refine` does not apply
     /// (descriptors live in the leaves, so candidate generation *is*
@@ -274,6 +298,7 @@ impl AnnIndex for Multicurves {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: self.n * (self.dim * 4 + 64),
             io: self.io_stats(),
+            metric: self.metric,
         }
     }
 

@@ -61,6 +61,11 @@ impl std::fmt::Debug for VaFile {
 
 impl VaFile {
     pub fn build(data: &Dataset, params: VaFileParams, dir: impl AsRef<Path>) -> io::Result<Self> {
+        crate::require_l2(
+            data,
+            "VA-file",
+            "its per-dimension cell lower/upper bounds are squared-Euclidean sums",
+        )?;
         assert!(!data.is_empty(), "cannot index an empty dataset");
         assert!((1..=8).contains(&params.bits), "bits must be in 1..=8");
         let dir = dir.as_ref();
@@ -231,6 +236,7 @@ impl AnnIndex for VaFile {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: self.memory_bytes() + self.n * self.dim * 4,
             io: self.io_stats(),
+            metric: hd_core::metric::Metric::L2,
         }
     }
 

@@ -24,7 +24,7 @@ fn main() {
         ("Audio", DatasetProfile::AUDIO, 20_000, 50),
         ("SUN", DatasetProfile::SUN, 8_000, 30),
     ] {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         let base = HdIndexParams::for_profile(&w.profile);
         let qp = QueryParams::triangular(4096.min(w.data.len()), 1024.min(w.data.len()), k);

@@ -22,7 +22,7 @@ fn main() {
         ("SUN", DatasetProfile::SUN, 8_000, 30),
         ("SIFT100K", DatasetProfile::SIFT, 100_000, 50),
     ] {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         table::header(
             &format!("Fig. 10 [{name}]: reference-selection algorithms"),

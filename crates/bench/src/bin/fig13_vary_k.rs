@@ -19,7 +19,7 @@ fn main() {
         ("Audio", DatasetProfile::AUDIO, 20_000, 50, true),
         ("SIFT100K", DatasetProfile::SIFT, 100_000, 30, false),
     ] {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed, cfg.metric);
         table::header(
             &format!("Fig. 13 [{name}]: MAP@k and query time vs k"),
             &["dataset", "method", "k", "MAP@k", "query"],

@@ -19,7 +19,7 @@ fn main() {
         ("SIFT10K", DatasetProfile::SIFT, 10_000, 100),
         ("Audio", DatasetProfile::AUDIO, 20_000, 100),
     ] {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(200), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(200), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         let dir = cfg.scratch(&format!("fig1_{name}"));
         println!(

@@ -20,7 +20,7 @@ fn main() {
         ("Audio", DatasetProfile::AUDIO, 20_000, 100),
         ("SUN", DatasetProfile::SUN, 8_000, 50),
     ] {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(200), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(200), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         table::header(
             &format!("Fig. 4(e-h) [{name}]: varying number of RDB-trees τ"),

@@ -24,7 +24,7 @@ fn main() {
     ];
 
     for (name, profile, n, nq) in workloads {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         let params = HdIndexParams::for_profile(&w.profile);
 

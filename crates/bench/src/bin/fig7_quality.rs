@@ -20,7 +20,7 @@ fn main() {
         ("SIFT100K", DatasetProfile::SIFT, 100_000, 50, false),
         ("Yorck", DatasetProfile::YORCK, 50_000, 50, false),
     ] {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         let dir = cfg.scratch(&format!("fig7_{name}"));
         table::header(

@@ -7,6 +7,11 @@
 //! OPQ/HNSW fastest but with the largest query-time memory; Multicurves the
 //! largest index (NP on Enron); HD-Index modest on every resource with MAP
 //! second only to the exact method.
+//!
+//! `--metric l2|l1|cosine|dot` reruns the whole study under another
+//! distance function: workloads are stamped with the metric (cosine
+//! unit-normalizes at creation), ground truth is metric-aware, rows label
+//! the metric, and methods that cannot serve it show as NP with the reason.
 
 use hd_bench::methods::{run_lineup, Workload};
 use hd_bench::{table, BenchConfig};
@@ -49,11 +54,18 @@ fn main() {
     for (group, workloads) in groups {
         println!("\n######## Group: {group} ########");
         for (name, profile, n, nq, exact) in workloads {
-            let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+            let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed, cfg.metric);
             let truth = w.truth(k);
             let dir = cfg.scratch(&format!("fig8_{name}"));
+            // Rows label the metric explicitly for non-L2 runs; the default
+            // L2 output stays byte-identical to the historical tables.
+            let row_name = if cfg.metric == hd_core::metric::Metric::L2 {
+                name.to_string()
+            } else {
+                format!("{name}/{}", cfg.metric)
+            };
             table::header(
-                &format!("Fig. 8 [{name}] n={} ν={} k=100", w.data.len(), w.data.dim()),
+                &format!("Fig. 8 [{row_name}] n={} ν={} k=100", w.data.len(), w.data.dim()),
                 &["dataset", "method", "MAP@100", "query", "index", "bld RAM", "qry RAM", "IO/qry"],
                 &widths,
             );
@@ -61,7 +73,7 @@ fn main() {
                 match outcome {
                     hd_bench::MethodOutcome::Done(r) => table::row(
                         &[
-                            name.into(),
+                            row_name.clone(),
                             r.method.into(),
                             table::f3(r.map),
                             table::ms(r.avg_query_ms),
@@ -78,7 +90,7 @@ fn main() {
                     ),
                     hd_bench::MethodOutcome::NotPossible(m, why) => table::row(
                         &[
-                            name.into(),
+                            row_name.clone(),
                             m.into(),
                             "NP".into(),
                             "—".into(),

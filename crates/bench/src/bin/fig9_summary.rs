@@ -20,7 +20,7 @@ use hd_core::dataset::DatasetProfile;
 fn main() {
     let cfg = BenchConfig::from_args();
     let k = 100;
-    let w = Workload::new("SIFT", DatasetProfile::SIFT, cfg.n(100_000), cfg.nq(40).min(100), cfg.seed);
+    let w = Workload::with_metric("SIFT", DatasetProfile::SIFT, cfg.n(100_000), cfg.nq(40).min(100), cfg.seed, cfg.metric);
     let raw_bytes = w.data.len() * w.data.dim() * 4;
     let truth = w.truth(k);
     let dir = cfg.scratch("fig9");

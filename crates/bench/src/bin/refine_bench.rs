@@ -43,7 +43,8 @@ fn refine_blocked(
 ) -> (Vec<Neighbor>, usize, usize) {
     let mut tk = TopK::new(k);
     let (evals, abandoned) =
-        score_candidates_blocked(heap, query, ids, &mut tk, arena).expect("heap block read");
+        score_candidates_blocked(heap, hd_core::metric::Metric::L2, query, ids, &mut tk, arena)
+            .expect("heap block read");
     (tk.into_sorted(), evals, abandoned)
 }
 

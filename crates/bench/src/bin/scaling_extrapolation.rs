@@ -31,7 +31,7 @@ fn main() {
 
     let mut rows: Vec<(f64, f64, f64, f64, f64)> = Vec::new(); // n, build_ms, bytes, query_ms, io
     for &n in &sizes {
-        let w = Workload::new("scal", DatasetProfile::SIFT, n, cfg.nq(30).min(50), cfg.seed);
+        let w = Workload::with_metric("scal", DatasetProfile::SIFT, n, cfg.nq(30).min(50), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         let dir = cfg.scratch(&format!("scaling_{n}"));
         let params = HdIndexParams::for_profile(&w.profile);

@@ -23,7 +23,7 @@ fn main() {
         ("Enron", DatasetProfile::ENRON, 5_000, 20, false),
         ("Glove", DatasetProfile::GLOVE, 50_000, 50, false),
     ] {
-        let w = Workload::new(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed);
+        let w = Workload::with_metric(name, profile, cfg.n(n), cfg.nq(nq).min(100), cfg.seed, cfg.metric);
         let truth = w.truth(k);
         let dir = cfg.scratch(&format!("t5_{name}"));
         let outcomes = run_lineup(&w, k, &truth, &dir, exact, cfg.methods.as_deref());

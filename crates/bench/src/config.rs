@@ -1,9 +1,14 @@
 //! Command-line configuration shared by all experiment binaries.
 
+use hd_core::metric::Metric;
+
 /// Scaling knobs parsed from `argv`: `--scale F` multiplies every dataset
 /// size, `--queries N` overrides the query-set size, `--seed S` reseeds the
 /// generators, `--methods a,b,c` restricts registry-driven binaries to the
-/// named methods. Unknown flags are ignored so binaries can add their own.
+/// named methods, `--metric l2|l1|cosine|dot` selects the distance function
+/// on every workload-driven binary (methods — or filter variants — that
+/// cannot serve it render as NP rows with the reason). Unknown flags are
+/// ignored so binaries can add their own.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
     pub scale: f64,
@@ -11,6 +16,8 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Registry names selected with `--methods` (comma-separated), if any.
     pub methods: Option<Vec<String>>,
+    /// Distance function selected with `--metric` (default L2).
+    pub metric: Metric,
 }
 
 impl Default for BenchConfig {
@@ -20,6 +27,7 @@ impl Default for BenchConfig {
             queries: None,
             seed: 42,
             methods: None,
+            metric: Metric::L2,
         }
     }
 }
@@ -61,6 +69,19 @@ impl BenchConfig {
                                 .filter(|m| !m.is_empty())
                                 .collect(),
                         );
+                        i += 1;
+                    }
+                }
+                "--metric" => {
+                    if let Some(v) = args.get(i + 1) {
+                        match Metric::parse(v) {
+                            Some(m) => cfg.metric = m,
+                            None => eprintln!(
+                                "warning: unknown metric {v:?} (known: l2, l1, cosine, dot); \
+                                 keeping {}",
+                                cfg.metric
+                            ),
+                        }
                         i += 1;
                     }
                 }
@@ -106,6 +127,15 @@ mod tests {
         assert_eq!(cfg.scale, 0.5);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.queries, None);
+        assert_eq!(cfg.metric, Metric::L2, "L2 is the default metric");
+    }
+
+    #[test]
+    fn parses_metric_flag() {
+        let cfg = BenchConfig::from_slice(&s(&["prog", "--metric", "cosine"]));
+        assert_eq!(cfg.metric, Metric::Cosine);
+        let cfg = BenchConfig::from_slice(&s(&["prog", "--metric", "no-such"]));
+        assert_eq!(cfg.metric, Metric::L2, "unknown metric falls back with a warning");
     }
 
     #[test]

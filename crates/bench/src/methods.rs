@@ -21,6 +21,7 @@ use hd_baselines::vafile::{VaFile, VaFileParams};
 use hd_core::api::{AnnIndex, SearchRequest};
 use hd_core::dataset::{generate, Dataset, DatasetProfile};
 use hd_core::ground_truth::ground_truth_knn;
+use hd_core::metric::Metric;
 use hd_core::metrics::score_workload;
 use hd_core::topk::Neighbor;
 use hd_engine::{Engine, EngineParams};
@@ -29,30 +30,50 @@ use std::io;
 use std::path::Path;
 use std::time::Instant;
 
-/// A named dataset + query set drawn from one of the paper's profiles.
+/// A named dataset + query set drawn from one of the paper's profiles,
+/// searched under one [`Metric`] (recorded on the dataset; cosine workloads
+/// are unit-normalized at creation).
 pub struct Workload {
     pub name: String,
     pub profile: DatasetProfile,
     pub data: Dataset,
     pub queries: Dataset,
+    pub metric: Metric,
 }
 
 impl Workload {
     pub fn new(name: impl Into<String>, profile: DatasetProfile, n: usize, nq: usize, seed: u64) -> Self {
+        Self::with_metric(name, profile, n, nq, seed, Metric::L2)
+    }
+
+    /// [`Self::new`] under an explicit metric. The same seed generates the
+    /// same raw vectors for every metric; only the build-time preparation
+    /// (cosine normalization) differs.
+    pub fn with_metric(
+        name: impl Into<String>,
+        profile: DatasetProfile,
+        n: usize,
+        nq: usize,
+        seed: u64,
+        metric: Metric,
+    ) -> Self {
         let (data, queries) = generate(&profile, n, nq, seed);
         Self {
             name: name.into(),
             profile,
-            data,
+            data: data.with_metric(metric),
             queries,
+            metric,
         }
     }
 
-    /// Exact ground truth at depth `k` (multi-threaded scan).
+    /// Exact ground truth at depth `k` (multi-threaded scan) in the
+    /// workload metric.
     pub fn truth(&self, k: usize) -> Vec<Vec<Neighbor>> {
         let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
         ground_truth_knn(&self.data, &self.queries, k, threads)
     }
+
 }
 
 /// Uniform per-method measurements (§5's evaluation dimensions).
@@ -105,6 +126,14 @@ pub enum LineupRole {
 /// instead of cloning multi-megabyte corpora.
 pub type BuildFn = for<'a> fn(&'a Workload, &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>>;
 
+/// Metric families a registry entry can declare. The brute-force and graph
+/// methods take anything; tree/reference methods need metric-space axioms;
+/// the rest are structurally L2-bound (ADC tables, VA bounds, Euclidean
+/// LSH, radius arithmetic).
+const ALL_METRICS: &[Metric] = &Metric::ALL;
+const METRIC_SPACES: &[Metric] = &[Metric::L2, Metric::L1, Metric::Cosine];
+const L2_ONLY: &[Metric] = &[Metric::L2];
+
 /// One registered method: a CLI-friendly name, the paper's display label,
 /// and a builder producing the method behind the unified trait.
 pub struct MethodSpec {
@@ -116,7 +145,19 @@ pub struct MethodSpec {
     /// the conformance suite and the Fig. 1 exactness reference.
     pub exact: bool,
     pub lineup: LineupRole,
+    /// The metrics this method can serve. [`run_method`] skips unsupported
+    /// combinations with a CR/NP outcome, and the builders refuse them too
+    /// (the registry declaration is the *announcement*, the builder guard
+    /// the enforcement).
+    pub supported_metrics: &'static [Metric],
     pub build: BuildFn,
+}
+
+impl MethodSpec {
+    /// Whether this method can serve `metric`.
+    pub fn supports(&self, metric: Metric) -> bool {
+        self.supported_metrics.contains(&metric)
+    }
 }
 
 /// Every method in the workspace, in default-lineup order (the paper's
@@ -128,6 +169,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "HD-Index",
             exact: false,
             lineup: LineupRole::Core,
+            supported_metrics: METRIC_SPACES,
             build: build_hd_index,
         },
         MethodSpec {
@@ -135,6 +177,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "iDistance",
             exact: true,
             lineup: LineupRole::ExactReference,
+            supported_metrics: L2_ONLY,
             build: build_idistance,
         },
         MethodSpec {
@@ -142,6 +185,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "Multicurves",
             exact: false,
             lineup: LineupRole::Core,
+            supported_metrics: METRIC_SPACES,
             build: build_multicurves,
         },
         MethodSpec {
@@ -149,6 +193,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "C2LSH",
             exact: false,
             lineup: LineupRole::Core,
+            supported_metrics: L2_ONLY,
             build: build_c2lsh,
         },
         MethodSpec {
@@ -156,6 +201,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "QALSH",
             exact: false,
             lineup: LineupRole::Core,
+            supported_metrics: L2_ONLY,
             build: build_qalsh,
         },
         MethodSpec {
@@ -163,6 +209,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "SRS",
             exact: false,
             lineup: LineupRole::Core,
+            supported_metrics: L2_ONLY,
             build: build_srs,
         },
         MethodSpec {
@@ -170,6 +217,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "OPQ",
             exact: false,
             lineup: LineupRole::Core,
+            supported_metrics: L2_ONLY,
             build: build_opq,
         },
         MethodSpec {
@@ -177,6 +225,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "HNSW",
             exact: false,
             lineup: LineupRole::Core,
+            supported_metrics: ALL_METRICS,
             build: build_hnsw,
         },
         MethodSpec {
@@ -184,6 +233,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "PQ",
             exact: false,
             lineup: LineupRole::None,
+            supported_metrics: L2_ONLY,
             build: build_pq,
         },
         MethodSpec {
@@ -191,6 +241,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "E2LSH",
             exact: false,
             lineup: LineupRole::None,
+            supported_metrics: L2_ONLY,
             build: build_e2lsh,
         },
         MethodSpec {
@@ -198,6 +249,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "VA-file",
             exact: true,
             lineup: LineupRole::None,
+            supported_metrics: L2_ONLY,
             build: build_vafile,
         },
         MethodSpec {
@@ -205,6 +257,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "LinearScan",
             exact: true,
             lineup: LineupRole::None,
+            supported_metrics: ALL_METRICS,
             build: build_linear_scan,
         },
         MethodSpec {
@@ -212,6 +265,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "DiskScan",
             exact: true,
             lineup: LineupRole::None,
+            supported_metrics: ALL_METRICS,
             build: build_disk_linear_scan,
         },
         MethodSpec {
@@ -219,6 +273,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "kd-tree",
             exact: true,
             lineup: LineupRole::None,
+            supported_metrics: METRIC_SPACES,
             build: build_kdtree,
         },
         MethodSpec {
@@ -226,6 +281,7 @@ pub fn registry() -> &'static [MethodSpec] {
             label: "Engine",
             exact: false,
             lineup: LineupRole::None,
+            supported_metrics: METRIC_SPACES,
             build: build_engine,
         },
     ];
@@ -246,6 +302,8 @@ pub fn spec(name: &str) -> Option<&'static MethodSpec> {
 fn build_hd_index<'a>(w: &'a Workload, dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
     let mut params = HdIndexParams::for_profile(&w.profile);
     params.num_references = params.num_references.min(w.data.len());
+    // No domain fixup needed for cosine: the builder derives the unit-ball
+    // domain from the dataset metric itself.
     let index = HdIndex::build(&w.data, &params, dir)?;
     // Serve defaults are the paper's recommended α = 4096, γ = 1024
     // triangular pipeline (clamped to n per query by the trait adapter).
@@ -323,6 +381,7 @@ fn pq_params(w: &Workload) -> PqParams {
 }
 
 fn build_pq<'a>(w: &'a Workload, _dir: &'a Path) -> io::Result<Box<dyn AnnIndex + 'a>> {
+    hd_baselines::require_l2(&w.data, "PQ", "its ADC distance tables accumulate squared-L2 terms")?;
     let pq = Pq::build(&w.data, pq_params(w));
     Ok(Box::new(PqRerank { pq, data: &w.data }))
 }
@@ -332,6 +391,7 @@ fn build_opq<'a>(w: &'a Workload, _dir: &'a Path) -> io::Result<Box<dyn AnnIndex
     // SVD); beyond ~300 dims that dominates everything else, so the harness
     // falls back to the identity rotation (plain PQ codebooks) there — the
     // same quality envelope the paper's OPQ shows on SUN/Enron.
+    hd_baselines::require_l2(&w.data, "OPQ", "its rotation objective and ADC tables are squared-L2")?;
     let opt_iters = if w.data.dim() > 300 { 0 } else { 6 };
     let params = OpqParams {
         pq: pq_params(w),
@@ -375,6 +435,15 @@ pub fn run_method(
     truth: &[Vec<Neighbor>],
     dir: &Path,
 ) -> MethodOutcome {
+    if !spec.supports(w.metric) {
+        return MethodOutcome::NotPossible(
+            spec.label,
+            format!("metric {} unsupported (serves: {})", w.metric, {
+                let names: Vec<&str> = spec.supported_metrics.iter().map(|m| m.name()).collect();
+                names.join(", ")
+            }),
+        );
+    }
     let subdir = dir.join(spec.name);
     let t0 = Instant::now();
     let index = match (spec.build)(w, &subdir) {

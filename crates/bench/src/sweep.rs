@@ -20,6 +20,15 @@ pub fn run_hd_variant(
     params: &HdIndexParams,
     qp: &QueryParams,
 ) -> MethodOutcome {
+    // Parameter studies inherit the workload metric like every registry
+    // method: a Ptolemaic-filter variant cannot run under a metric where
+    // the bound is unsound (validate would panic mid-query otherwise).
+    if qp.filter == hd_index::FilterKind::TriangularPtolemaic && !w.metric.supports_ptolemaic() {
+        return MethodOutcome::NotPossible(
+            "HD-Index",
+            format!("the Ptolemaic filter is unsound under {}", w.metric),
+        );
+    }
     let t0 = Instant::now();
     let mut index = match HdIndex::build(&w.data, params, dir.join("hdindex")) {
         Ok(i) => i,

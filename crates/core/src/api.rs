@@ -27,6 +27,7 @@
 //! [`HdIndex`]: https://docs.rs/hd-index
 //! [`Engine`]: https://docs.rs/hd-engine
 
+use crate::metric::Metric;
 use crate::topk::Neighbor;
 use std::io;
 
@@ -72,18 +73,26 @@ pub struct SearchRequest {
     /// HD-Index/Engine, the exact-rerank shortlist size for PQ/OPQ.
     /// `None` uses the method's default.
     pub refine: Option<usize>,
+    /// The metric the caller expects this index to serve. `None` (the
+    /// default) accepts whatever the index was built under; `Some(m)` makes
+    /// [`AnnIndex::search`] fail with `InvalidInput` when `m` differs from
+    /// [`AnnIndex::metric`] — the guard that keeps a router from silently
+    /// sending cosine traffic to an L2 index.
+    pub metric: Option<Metric>,
     /// Ask the method to fill [`SearchOutput::trace`]. Methods without
     /// instrumentation return `None` regardless.
     pub trace: bool,
 }
 
 impl SearchRequest {
-    /// A plain top-`k` request with method-default budgets and no trace.
+    /// A plain top-`k` request with method-default budgets, no metric
+    /// expectation, and no trace.
     pub fn new(k: usize) -> Self {
         Self {
             k,
             candidates: None,
             refine: None,
+            metric: None,
             trace: false,
         }
     }
@@ -97,6 +106,13 @@ impl SearchRequest {
     /// Overrides the refinement budget (γ / rerank shortlist).
     pub fn with_refine(mut self, refine: usize) -> Self {
         self.refine = Some(refine);
+        self
+    }
+
+    /// Declares the metric the caller expects the index to serve
+    /// ([`SearchRequest::metric`]).
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = Some(metric);
         self
     }
 
@@ -127,12 +143,24 @@ pub struct SearchTrace {
     /// every dimension. `refine_abandoned / refine_evals` is the query's
     /// pruning rate.
     pub refine_abandoned: usize,
+    /// The candidate-generation budget the query actually ran with, after
+    /// per-method clamping of [`SearchRequest::candidates`] (e.g. α clamped
+    /// into `[1, n]`). `0` when the method does not report it. Budgets are
+    /// clamped silently otherwise, which makes parameter sweeps misread
+    /// their own operating points.
+    pub effective_candidates: usize,
+    /// The refinement budget the query actually ran with, after per-method
+    /// clamping of [`SearchRequest::refine`] (e.g. γ clamped into `[1, n]`).
+    /// `0` when the method does not report it.
+    pub effective_refine: usize,
 }
 
 /// The result of one [`AnnIndex::search`] call.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchOutput {
-    /// Nearest-first neighbors with true L2 distances. Ordering is fully
+    /// Nearest-first neighbors with distances in the index metric's
+    /// reported scale ([`Metric::finalize`]: true L2 for L2, the L1 sum for
+    /// L1, `1 − cos` for cosine, `−⟨q, o⟩` for dot). Ordering is fully
     /// deterministic: ascending distance, ties broken by ascending id
     /// (the [`Neighbor`] `Ord`).
     pub neighbors: Vec<Neighbor>,
@@ -166,6 +194,9 @@ pub struct IndexStats {
     /// IO counters accumulated since the last reset. Zero for in-memory
     /// methods.
     pub io: IoSnapshot,
+    /// The metric this index serves ([`AnnIndex::metric`]), so resource
+    /// reports carry the distance function alongside the numbers.
+    pub metric: Metric,
 }
 
 impl IndexStats {
@@ -176,7 +207,15 @@ impl IndexStats {
             memory_bytes,
             build_memory_bytes: memory_bytes,
             io: IoSnapshot::default(),
+            metric: Metric::L2,
         }
+    }
+
+    /// Stamps the stats with the serving metric (builder style, so the
+    /// common L2 constructors stay one-liners).
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
     }
 }
 
@@ -205,6 +244,14 @@ pub trait AnnIndex {
     /// Dimensionality ν of the indexed vectors.
     fn dim(&self) -> usize;
 
+    /// The metric this index was built under and serves. Defaults to
+    /// [`Metric::L2`], the right answer for every method that predates the
+    /// metric layer; multi-metric methods override it with the metric of
+    /// the dataset they indexed.
+    fn metric(&self) -> Metric {
+        Metric::L2
+    }
+
     /// Implementation hook for [`Self::search`]. Called only with
     /// `1 ≤ req.k ≤ self.len()`; do **not** call directly — the public
     /// entry point is [`Self::search`], which enforces that contract.
@@ -213,8 +260,22 @@ pub trait AnnIndex {
     /// Answers one kNN query with normalized edge-case semantics:
     /// `k == 0` returns an empty result, `k > len()` returns all `len()`
     /// neighbors (for exact methods; approximate methods may return fewer
-    /// if their budgets exhaust first).
+    /// if their budgets exhaust first). A request carrying an explicit
+    /// [`SearchRequest::metric`] expectation fails with `InvalidInput`
+    /// when it differs from [`Self::metric`] — wrong-metric answers look
+    /// plausible and are otherwise silent.
     fn search(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
+        if let Some(expected) = req.metric {
+            let actual = self.metric();
+            if expected != actual {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "request expects metric {expected} but this index serves {actual}"
+                    ),
+                ));
+            }
+        }
         let n = self.len();
         let k = req.k.min(n as usize);
         if k == 0 {
@@ -342,11 +403,33 @@ mod tests {
 
     #[test]
     fn request_builder_sets_knobs() {
-        let req = SearchRequest::new(7).with_candidates(256).with_refine(64).with_trace();
+        let req = SearchRequest::new(7)
+            .with_candidates(256)
+            .with_refine(64)
+            .with_metric(Metric::Cosine)
+            .with_trace();
         assert_eq!(req.k, 7);
         assert_eq!(req.candidates, Some(256));
         assert_eq!(req.refine, Some(64));
+        assert_eq!(req.metric, Some(Metric::Cosine));
         assert!(req.trace);
+    }
+
+    #[test]
+    fn metric_expectation_guards_the_search_boundary() {
+        let idx = toy(); // serves the default Metric::L2
+        assert_eq!(AnnIndex::metric(&idx), Metric::L2);
+        // Matching expectation (or none) passes through.
+        idx.search(&[0.0], &SearchRequest::new(1).with_metric(Metric::L2)).unwrap();
+        idx.search(&[0.0], &SearchRequest::new(1)).unwrap();
+        // A mismatched expectation is an InvalidInput error, even for k=0.
+        for k in [0usize, 1] {
+            let err = idx
+                .search(&[0.0], &SearchRequest::new(k).with_metric(Metric::Cosine))
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "k={k}");
+            assert!(err.to_string().contains("cosine"), "k={k}: {err}");
+        }
     }
 
     #[test]

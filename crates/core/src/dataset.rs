@@ -7,16 +7,26 @@
 //! [`read_fvecs`]/[`read_bvecs`] let real TexMex-format corpora be dropped in
 //! unchanged.
 
+use crate::metric::Metric;
 use rand::distributions::Distribution;
 use rand::{Rng, SeedableRng};
 use std::io::{self, Read};
 use std::path::Path;
 
 /// A dense collection of `ν`-dimensional `f32` points in row-major layout.
+///
+/// A dataset records the [`Metric`] it is meant to be searched under
+/// (default [`Metric::L2`]); index builders read it instead of taking a
+/// separate metric parameter, so a corpus and its distance function travel
+/// together. Stamping a metric with [`Self::with_metric`] applies the
+/// metric's build-time preparation (unit normalization for cosine), and
+/// [`Self::push`] keeps that invariant for every later point — a cosine
+/// dataset is unit-normalized *by construction*.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset {
     dim: usize,
     data: Vec<f32>,
+    metric: Metric,
 }
 
 impl Dataset {
@@ -29,6 +39,7 @@ impl Dataset {
         Self {
             dim,
             data: Vec::new(),
+            metric: Metric::L2,
         }
     }
 
@@ -39,7 +50,31 @@ impl Dataset {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
-        Self { dim, data }
+        Self {
+            dim,
+            data,
+            metric: Metric::L2,
+        }
+    }
+
+    /// Stamps the dataset with the metric it will be searched under and
+    /// applies that metric's build-time vector preparation
+    /// ([`Metric::normalize_for_index`]: unit normalization for cosine,
+    /// no-op otherwise). Under [`Metric::L2`] this is the identity — the
+    /// buffer is untouched bit for bit.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        if metric.normalizes_vectors() {
+            for row in self.data.chunks_exact_mut(self.dim) {
+                metric.normalize_for_index(row);
+            }
+        }
+        self
+    }
+
+    /// The metric this dataset is meant to be searched under.
+    pub fn metric(&self) -> Metric {
+        self.metric
     }
 
     pub fn dim(&self) -> usize {
@@ -61,13 +96,19 @@ impl Dataset {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
-    /// Appends a point.
+    /// Appends a point, applying the dataset metric's vector preparation
+    /// (unit normalization for cosine) so the by-construction invariant of
+    /// [`Self::with_metric`] survives later appends.
     ///
     /// # Panics
     /// Panics if the point's length differs from the dataset dimensionality.
     pub fn push(&mut self, point: &[f32]) {
         assert_eq!(point.len(), self.dim, "dimensionality mismatch");
         self.data.extend_from_slice(point);
+        if self.metric.normalizes_vectors() {
+            let start = self.data.len() - self.dim;
+            self.metric.normalize_for_index(&mut self.data[start..]);
+        }
     }
 
     /// Reserves space for `n` additional points.
@@ -421,6 +462,26 @@ mod tests {
         assert_eq!(ds.get(0), &[1.0, 2.0]);
         assert_eq!(ds.get(1), &[3.0, 4.0]);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn with_metric_cosine_normalizes_rows_and_later_pushes() {
+        let mut ds = Dataset::from_flat(2, vec![3.0, 4.0, 0.0, 0.0]).with_metric(Metric::Cosine);
+        assert_eq!(ds.metric(), Metric::Cosine);
+        assert!((ds.get(0)[0] - 0.6).abs() < 1e-6 && (ds.get(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(ds.get(1), &[0.0, 0.0], "zero vector stays zero");
+        ds.push(&[0.0, 5.0]);
+        assert_eq!(ds.get(2), &[0.0, 1.0], "push must keep the unit-norm invariant");
+    }
+
+    #[test]
+    fn with_metric_l2_is_bitwise_identity() {
+        let flat = vec![3.5f32, -4.25, 1e9, 0.125];
+        let ds = Dataset::from_flat(2, flat.clone()).with_metric(Metric::L2);
+        assert_eq!(ds.as_flat(), flat.as_slice());
+        assert_eq!(ds.metric(), Metric::L2);
+        let ds = Dataset::from_flat(2, flat.clone()).with_metric(Metric::L1);
+        assert_eq!(ds.as_flat(), flat.as_slice(), "L1 does not normalize");
     }
 
     #[test]

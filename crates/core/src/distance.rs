@@ -1,33 +1,42 @@
-//! Euclidean distance kernels.
+//! Distance kernels: L2 (the paper's distance function, §2.1), L1, and
+//! inner product — the scalar loops behind every [`crate::metric::Metric`].
 //!
-//! All index structures in the workspace compare points under the L2 norm
-//! (the paper's distance function, §2.1). Squared distances are used for
-//! comparisons wherever possible — `sqrt` is monotone, so rankings are
-//! unaffected — and converted to true distances only at API boundaries.
+//! Squared L2 distances are used for comparisons wherever possible — `sqrt`
+//! is monotone, so rankings are unaffected — and converted to true distances
+//! only at API boundaries. L1 needs no such transform (the sum of absolute
+//! differences *is* the distance), and the dot product is negated at the
+//! metric layer so that "smaller is better" holds uniformly.
 //!
-//! Three kernels back the refinement hot path (Algorithm 2 step (iv), the
-//! dominant CPU+IO cost of a query):
+//! Three kernel shapes back the refinement hot path (Algorithm 2 step (iv),
+//! the dominant CPU+IO cost of a query), each provided per metric family:
 //!
-//! * [`l2_sq`] — one-to-one, the baseline everything else must agree with.
-//! * [`l2_sq_batch`] — one-to-many over a flat row-major candidate block,
-//!   the shape produced by page-granular heap fetches and kd-tree leaves.
-//! * [`l2_sq_bounded`] — partial-distance evaluation that abandons once the
-//!   running sum exceeds a caller-supplied bound (the current top-k radius).
+//! * [`l2_sq`] / [`l1`] / [`dot`] — one-to-one, the baselines everything
+//!   else must agree with.
+//! * [`l2_sq_batch`] / [`l1_batch`] — one-to-many over a flat row-major
+//!   candidate block, the shape produced by page-granular heap fetches and
+//!   kd-tree leaves.
+//! * [`l2_sq_bounded`] / [`l1_bounded`] — partial-distance evaluation that
+//!   abandons once the running sum exceeds a caller-supplied bound (the
+//!   current top-k radius). The dot product has **no** bounded variant: its
+//!   partial sums are not monotone (terms can be negative), so no prefix of
+//!   the accumulation ever lower-bounds the final value.
 //!
-//! **Bounded-kernel contract.** `l2_sq_bounded(a, b, bound)` returns the
-//! exact squared distance whenever that value is `<= bound`; any returned
-//! value `> bound` means the evaluation may have been abandoned early and is
-//! only a *lower bound* on the true squared distance. Because the partial
-//! sums are monotone non-decreasing (each term is non-negative and IEEE
-//! addition is monotone), an evaluation is never abandoned while the exact
-//! result could still be `<= bound` — so a candidate rejected by the bounded
-//! kernel is exactly a candidate a full evaluation would have rejected, and
-//! results are bit-identical to the unbounded path.
+//! **Bounded-kernel contract.** `*_bounded(a, b, bound)` returns the exact
+//! distance whenever that value is `<= bound`; any returned value `> bound`
+//! means the evaluation may have been abandoned early and is only a *lower
+//! bound* on the true distance. Because the partial sums are monotone
+//! non-decreasing (each term is non-negative and IEEE addition is monotone),
+//! an evaluation is never abandoned while the exact result could still be
+//! `<= bound` — so a candidate rejected by a bounded kernel is exactly a
+//! candidate a full evaluation would have rejected, and results are
+//! bit-identical to the unbounded path.
 //!
 //! All kernels accumulate in the same eight-lane chunked order and reduce
 //! lanes left-to-right, so full evaluations agree *bitwise* across kernels.
 //! The chunked loops are plain safe Rust that LLVM auto-vectorizes; no
-//! `unsafe`, no platform intrinsics.
+//! `unsafe`, no platform intrinsics. These are the only distance loops in
+//! the workspace: [`l2`] delegates to [`l2_sq`], [`norm_sq`] to [`dot`],
+//! and every index structure dispatches here through the metric layer.
 
 /// Accumulator width of the chunked kernels (eight f32 lanes — two SSE or
 /// one AVX2 register worth, a clean auto-vectorization target).
@@ -158,21 +167,120 @@ pub fn l2(a: &[f32], b: &[f32]) -> f32 {
     l2_sq(a, b).sqrt()
 }
 
-/// Squared L2 norm of a vector.
+/// Manhattan (L1) distance between two equal-length vectors: Σ|aᵢ − bᵢ|.
+///
+/// Same eight-lane chunked accumulation as [`l2_sq`], so [`l1_bounded`] with
+/// an infinite bound and [`l1_batch`] agree with this bitwise.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
 #[inline]
-pub fn norm_sq(a: &[f32]) -> f32 {
-    a.iter().map(|x| x * x).sum()
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let base = c * LANES;
+        for (lane, slot) in acc.iter_mut().enumerate() {
+            *slot += (a[base + lane] - b[base + lane]).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..n {
+        tail += (a[i] - b[i]).abs();
+    }
+    reduce(&acc) + tail
 }
 
-/// Inner (dot) product of two equal-length vectors.
+/// Bounded partial-distance evaluation of the L1 distance: same contract as
+/// [`l2_sq_bounded`] (exact iff the result is `<= bound`; monotone partial
+/// sums, so abandonment never rejects a candidate a full evaluation would
+/// have kept).
+#[inline]
+pub fn l1_bounded(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    l1_bounded_traced(a, b, bound).0
+}
+
+/// [`l1_bounded`] that also reports whether the evaluation was truly
+/// abandoned early (dimensions left unprocessed) — the L1 counterpart of
+/// [`l2_sq_bounded_traced`].
+#[inline]
+pub fn l1_bounded_traced(a: &[f32], b: &[f32], bound: f32) -> (f32, bool) {
+    debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let rem = n % LANES;
+    let mut acc = [0.0f32; LANES];
+    let mut c = 0usize;
+    while c < chunks {
+        let stop = (c + BOUND_CHECK_CHUNKS).min(chunks);
+        while c < stop {
+            let base = c * LANES;
+            for (lane, slot) in acc.iter_mut().enumerate() {
+                *slot += (a[base + lane] - b[base + lane]).abs();
+            }
+            c += 1;
+        }
+        let partial = reduce(&acc);
+        if partial > bound {
+            return (partial, c < chunks || rem > 0);
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..n {
+        tail += (a[i] - b[i]).abs();
+    }
+    (reduce(&acc) + tail, false)
+}
+
+/// One-to-many L1 distances from `query` to every row of a flat row-major
+/// `block` — the L1 counterpart of [`l2_sq_batch`], bit-identical to
+/// per-row [`l1`].
+///
+/// # Panics
+/// Panics if `query` is empty or `block` is ragged.
+#[inline]
+pub fn l1_batch(query: &[f32], block: &[f32], out: &mut Vec<f32>) {
+    let d = query.len();
+    assert!(d > 0, "empty query");
+    assert_eq!(block.len() % d, 0, "ragged candidate block");
+    out.clear();
+    out.reserve(block.len() / d);
+    for row in block.chunks_exact(d) {
+        out.push(l1(query, row));
+    }
+}
+
+/// Squared L2 norm of a vector — [`dot`] of the vector with itself, so the
+/// eight-lane kernel is the only accumulation loop.
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// Inner (dot) product of two equal-length vectors, in the same eight-lane
+/// chunked accumulation order as every other kernel in this module.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
-    let mut s = 0.0f32;
-    for i in 0..a.len().min(b.len()) {
-        s += a[i] * b[i];
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let mut acc = [0.0f32; LANES];
+    for c in 0..chunks {
+        let base = c * LANES;
+        for (lane, slot) in acc.iter_mut().enumerate() {
+            *slot += a[base + lane] * b[base + lane];
+        }
     }
-    s
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..n {
+        tail += a[i] * b[i];
+    }
+    reduce(&acc) + tail
 }
 
 #[cfg(test)]
@@ -332,5 +440,90 @@ mod tests {
         let mut out = vec![3.0f32];
         l2_sq_batch(&q, &[], &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn l1_matches_naive() {
+        for dim in [1usize, 7, 8, 64, 131] {
+            let (a, b) = vectors(dim, dim as u64 + 1);
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            assert!((l1(&a, &b) - naive).abs() < 1e-2 * (1.0 + naive), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn l1_is_a_metric_on_sample_points() {
+        let pts = [
+            vec![0.0f32, 1.0, 2.0],
+            vec![5.0f32, -1.0, 0.5],
+            vec![-3.0f32, 2.0, 2.0],
+        ];
+        for a in &pts {
+            assert_eq!(l1(a, a), 0.0);
+            for b in &pts {
+                assert_eq!(l1(a, b), l1(b, a));
+                for c in &pts {
+                    assert!(l1(a, c) <= l1(a, b) + l1(b, c) + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l1_bounded_with_infinite_bound_is_bitwise_l1() {
+        for dim in [1usize, 8, 128, 131] {
+            let (a, b) = vectors(dim, dim as u64);
+            assert_eq!(l1_bounded(&a, &b, f32::INFINITY), l1(&a, &b), "dim {dim}");
+            let exact = l1(&a, &b);
+            assert_eq!(l1_bounded(&a, &b, exact), exact, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn l1_bounded_abandons_with_lower_bound_result() {
+        let (a, b) = vectors(1024, 9);
+        let exact = l1(&a, &b);
+        let (got, early) = l1_bounded_traced(&a, &b, exact * 0.01);
+        assert!(got > exact * 0.01);
+        assert!(got <= exact, "partial sum {got} exceeds exact {exact}");
+        assert!(early, "a 1/100 bound on 1024 dims must abandon early");
+    }
+
+    #[test]
+    fn l1_batch_matches_per_row_kernel_bitwise() {
+        let dim = 37;
+        let (q, _) = vectors(dim, 2);
+        let mut block = Vec::new();
+        let mut rows = Vec::new();
+        for r in 0..5u64 {
+            let (row, _) = vectors(dim, 300 + r);
+            block.extend_from_slice(&row);
+            rows.push(row);
+        }
+        let mut out = Vec::new();
+        l1_batch(&q, &block, &mut out);
+        assert_eq!(out.len(), rows.len());
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(out[r], l1(&q, row), "row {r}");
+        }
+    }
+
+    #[test]
+    fn chunked_dot_matches_naive_order_insensitively() {
+        for dim in [1usize, 7, 8, 64, 131] {
+            let (a, b) = vectors(dim, dim as u64 + 5);
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum();
+            let got = dot(&a, &b) as f64;
+            assert!(
+                (got - naive).abs() < 1e-3 * (1.0 + naive.abs()),
+                "dim {dim}: {got} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_sq_is_self_dot() {
+        let (a, _) = vectors(100, 3);
+        assert_eq!(norm_sq(&a), dot(&a, &a));
     }
 }

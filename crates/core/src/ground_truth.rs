@@ -7,22 +7,28 @@
 //! impractical baseline the paper mentions).
 
 use crate::dataset::Dataset;
-use crate::distance::l2_sq;
+use crate::metric::Metric;
 use crate::topk::{Neighbor, TopK};
 
-/// Exact k nearest neighbors of a single query (distances are true L2).
+/// Exact k nearest neighbors of a single query under the dataset's recorded
+/// [`Metric`] (distances in the metric's reported scale: true L2 for L2,
+/// `1 − cos` for cosine, …). The query is normalized on the fly when the
+/// metric requires it, so callers pass raw queries for every metric.
 pub fn knn_exact(data: &Dataset, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let metric = data.metric();
+    let mut qbuf = Vec::new();
+    let query = metric.normalized_query(query, &mut qbuf);
     let mut tk = TopK::new(k.min(data.len().max(1)));
     for (i, p) in data.iter().enumerate() {
-        tk.push(Neighbor::new(i as crate::ObjectId, l2_sq(query, p)));
+        tk.push(Neighbor::new(i as crate::ObjectId, metric.key(query, p)));
     }
-    finalize(tk)
+    finalize(tk, metric)
 }
 
-fn finalize(tk: TopK) -> Vec<Neighbor> {
+fn finalize(tk: TopK, metric: Metric) -> Vec<Neighbor> {
     let mut out = tk.into_sorted();
     for n in &mut out {
-        n.dist = n.dist.sqrt();
+        n.dist = metric.finalize(n.dist);
     }
     out
 }
@@ -97,6 +103,42 @@ mod tests {
             for w in r.windows(2) {
                 assert!(w[0].dist <= w[1].dist);
             }
+        }
+    }
+
+    #[test]
+    fn cosine_ground_truth_ranks_by_descending_similarity() {
+        let (raw, queries) = generate(&DatasetProfile::GLOVE, 200, 3, 7);
+        let data = raw.clone().with_metric(Metric::Cosine);
+        for q in queries.iter() {
+            let res = knn_exact(&data, q, 5);
+            // Reported distance is 1 − cos, so it must agree with a direct
+            // cosine computation on the *raw* vectors.
+            for n in &res {
+                let o = raw.get(n.id as usize);
+                let cos = crate::distance::dot(q, o)
+                    / (crate::distance::norm_sq(q).sqrt() * crate::distance::norm_sq(o).sqrt());
+                assert!(
+                    (n.dist - (1.0 - cos)).abs() < 1e-4,
+                    "reported {} vs 1−cos {}",
+                    n.dist,
+                    1.0 - cos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_ground_truth_reports_negated_inner_product() {
+        let (raw, queries) = generate(&DatasetProfile::GLOVE, 100, 2, 8);
+        let data = raw.clone().with_metric(Metric::Dot);
+        let q = queries.get(0);
+        let res = knn_exact(&data, q, 3);
+        for n in &res {
+            assert_eq!(n.dist, -crate::distance::dot(q, raw.get(n.id as usize)));
+        }
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist, "ascending −dot = descending dot");
         }
     }
 

@@ -5,7 +5,9 @@
 //!
 //! * [`dataset`] — flat `f32` vector datasets, synthetic generators emulating
 //!   the paper's corpora (Table 4), and `fvecs`/`bvecs`/`ivecs` readers.
-//! * [`distance`] — Euclidean distance kernels.
+//! * [`distance`] — L2 / L1 / inner-product distance kernels.
+//! * [`metric`] — the [`metric::Metric`] layer dispatching every index
+//!   structure onto those kernels (L2, L1, cosine-via-normalization, dot).
 //! * [`topk`] — bounded max-heaps for k-nearest-neighbor accumulation.
 //! * [`metrics`] — approximation ratio (Def. 1), AP@k (Def. 2), MAP@k
 //!   (Def. 3), and recall.
@@ -29,6 +31,7 @@ pub mod distance;
 pub mod ground_truth;
 pub mod kmeans;
 pub mod linalg;
+pub mod metric;
 pub mod metrics;
 pub mod partition;
 pub mod pool;
@@ -37,8 +40,9 @@ pub mod util;
 
 pub use api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest, SearchTrace};
 pub use dataset::{Dataset, DatasetProfile};
-pub use distance::{l2, l2_sq, l2_sq_batch, l2_sq_bounded, l2_sq_bounded_traced};
+pub use distance::{l1, l1_batch, l1_bounded, l1_bounded_traced, l2, l2_sq, l2_sq_batch, l2_sq_bounded, l2_sq_bounded_traced};
 pub use ground_truth::ground_truth_knn;
+pub use metric::Metric;
 pub use metrics::{approximation_ratio, average_precision, mean_average_precision, recall_at_k};
 pub use topk::{Neighbor, TopK};
 

@@ -102,7 +102,9 @@ impl Engine {
     }
 
     /// Answers a batch of queries, returning one nearest-first neighbor
-    /// list (global ids, true L2 distances) per query, in input order.
+    /// list per query, in input order (global ids; distances in the
+    /// engine metric's reported scale — true L2 for L2, `1 − cos` for
+    /// cosine, …).
     ///
     /// Scheduling: the batch expands to B·S shard-tasks (hinted to the
     /// shard's home queue), the per-query reference distances are computed
@@ -112,12 +114,30 @@ impl Engine {
     where
         I: IntoIterator<Item = &'q [f32]>,
     {
-        let queries: Vec<&[f32]> = queries.into_iter().collect();
+        let mut queries: Vec<&[f32]> = queries.into_iter().collect();
         if queries.is_empty() {
             return Ok(Vec::new());
         }
         let t0 = Instant::now();
         let s_count = self.set.shards.len();
+
+        // Metric preparation: normalize each query once per *batch* (not
+        // once per shard) when the metric requires it; shards receive
+        // index-form queries through `knn_with_ref_dists`, which does not
+        // normalize again.
+        let metric = self.metric();
+        let normalized: Vec<Vec<f32>>;
+        if metric.normalizes_vectors() {
+            normalized = queries
+                .iter()
+                .map(|q| {
+                    let mut v = q.to_vec();
+                    metric.normalize_for_index(&mut v);
+                    v
+                })
+                .collect();
+            queries = normalized.iter().map(|v| v.as_slice()).collect();
+        }
 
         // Reference distances: once per query, not once per (query, shard).
         let q_dists: Vec<Vec<f32>> = queries
@@ -225,6 +245,12 @@ impl Engine {
         self.set.shards.len()
     }
 
+    /// The metric every shard serves (shards are verified to agree at
+    /// open time).
+    pub fn metric(&self) -> hd_core::metric::Metric {
+        self.set.shards[0].index.read().metric()
+    }
+
     /// Worker threads in the serving pool.
     pub fn threads(&self) -> usize {
         self.pool.threads()
@@ -301,6 +327,10 @@ impl AnnIndex for Engine {
         self.set.shards[0].index.read().dim()
     }
 
+    fn metric(&self) -> hd_core::metric::Metric {
+        Engine::metric(self)
+    }
+
     /// One-query batch through the sharded pipeline; `candidates` → α per
     /// RDB-tree of every shard, `refine` → γ.
     fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
@@ -310,8 +340,21 @@ impl AnnIndex for Engine {
 
     /// True batched execution: B·S shard tasks on the engine's worker pool,
     /// exact-merged per query — result-identical to sequential
-    /// [`AnnIndex::search`] calls (the conformance suite checks this).
+    /// [`AnnIndex::search`] calls (the conformance suite checks this),
+    /// including the metric-expectation guard the provided `search`
+    /// applies (sequential calls would all fail, so the batch must too).
     fn search_batch(&self, queries: &[&[f32]], req: &SearchRequest) -> io::Result<Vec<SearchOutput>> {
+        if let Some(expected) = req.metric {
+            let actual = AnnIndex::metric(self);
+            if expected != actual {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "request expects metric {expected} but this engine serves {actual}"
+                    ),
+                ));
+            }
+        }
         let k = req.k.min(self.len() as usize);
         if k == 0 {
             return Ok(queries.iter().map(|_| SearchOutput::default()).collect());
@@ -338,6 +381,7 @@ impl AnnIndex for Engine {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: n * (entry + 4 * m),
             io: self.serving_stats().io,
+            metric: self.metric(),
         }
     }
 

@@ -86,7 +86,14 @@ impl ShardSet {
         // complete instead of persisting through the whole parallel build.
         let slices: Vec<Dataset> = (0..s)
             .map(|si| {
-                let mut slice = Dataset::new(data.dim());
+                // Carry the corpus metric onto every slice so each shard
+                // builds under the same distance function. `push` then
+                // re-normalizes the (already unit) cosine rows, which can
+                // perturb last-ulp bits versus the unsharded corpus —
+                // acceptable: cosine answers are compared against ground
+                // truth with a tolerance, and bitwise shard/unsharded
+                // equality is only promised for L2.
+                let mut slice = Dataset::new(data.dim()).with_metric(data.metric());
                 slice.reserve(data.len() / s + 1);
                 for g in (si..data.len()).step_by(s) {
                     slice.push(data.get(g));
@@ -145,6 +152,25 @@ impl ShardSet {
                 params.index.query_cache_pages,
                 budget.clone(),
             )?;
+            // Shards of one engine were built together under one metric;
+            // a disagreement means the directory holds a mix of index
+            // generations, and serving it would return wrong distances for
+            // some shards — refuse instead.
+            let m0 = shards
+                .first()
+                .map(|s0: &Shard| s0.index.read().metric());
+            if let Some(m0) = m0 {
+                if index.metric() != m0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "shard {si} was built under metric {} but shard 0 under {m0}; \
+                             the engine directory mixes index generations",
+                            index.metric()
+                        ),
+                    ));
+                }
+            }
             shards.push(Shard {
                 index: RwLock::new(index),
             });

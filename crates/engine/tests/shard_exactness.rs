@@ -75,6 +75,53 @@ proptest! {
 }
 
 #[test]
+fn cosine_engine_matches_exact_cosine_scan_when_saturated() {
+    // The metric threads through sharding: a cosine engine (normalized
+    // slices, shared cosine reference set, one batch-level query
+    // normalization) must reproduce the exact cosine ground truth when the
+    // candidate stage is saturated, across shard counts.
+    use hd_core::metric::Metric;
+    let n = 400;
+    let k = 10;
+    let (raw, queries) = generate(&DatasetProfile::GLOVE, n, 5, 31);
+    let data = raw.with_metric(Metric::Cosine);
+    let qp = QueryParams::triangular(n, n, k);
+    let dir = scratch("cosine");
+    let mut ip = index_params();
+    ip.domain = (-1.0, 1.0);
+
+    let expected: Vec<Vec<Neighbor>> = queries
+        .iter()
+        .map(|q| hd_core::ground_truth::knn_exact(&data, q, k))
+        .collect();
+    for shards in [1usize, 3] {
+        let params = EngineParams {
+            shards,
+            threads: 4,
+            cache_budget_pages: 0,
+            index: ip.clone(),
+        };
+        let engine = Engine::build(&data, &params, dir.join(format!("s{shards}"))).unwrap();
+        assert_eq!(engine.metric(), Metric::Cosine);
+        let answers = engine.search_batch(queries.iter(), &qp).unwrap();
+        for (qi, (got, want)) in answers.iter().zip(&expected).enumerate() {
+            let got_ids: Vec<u64> = got.iter().map(|nb| nb.id).collect();
+            let want_ids: Vec<u64> = want.iter().map(|nb| nb.id).collect();
+            assert_eq!(got_ids, want_ids, "S = {shards}, query {qi}");
+            for (g, w) in got.iter().zip(want) {
+                assert!(
+                    (g.dist - w.dist).abs() < 1e-5,
+                    "S = {shards}, query {qi}: cosine distance {} vs {}",
+                    g.dist,
+                    w.dist
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn single_shard_engine_is_identical_even_unsaturated() {
     // With S = 1 the engine wraps the very same index the library would
     // build (same data order, same reference selection seed), so answers

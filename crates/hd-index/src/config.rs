@@ -2,6 +2,7 @@
 
 use hd_core::api::SearchRequest;
 use hd_core::dataset::DatasetProfile;
+use hd_core::metric::Metric;
 
 /// Reference-object selection algorithm (§3.3, §5.2.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,17 +136,26 @@ impl QueryParams {
         }
     }
 
-    /// Panics on degenerate parameters. Every query entry point calls this:
-    /// `k`, `α`, and `γ` must be positive, and in
-    /// [`FilterKind::TriangularPtolemaic`] mode `β ≥ γ` — the triangular
-    /// stage feeds β survivors into the Ptolemaic cut, so `β = 0` would
-    /// yield zero candidates and `β < γ` silently caps survivors at β.
-    pub fn validate(&self) {
+    /// Panics on parameters that are degenerate or unsound for the index's
+    /// metric. Every query entry point calls this: `k`, `α`, and `γ` must
+    /// be positive; in [`FilterKind::TriangularPtolemaic`] mode `β ≥ γ` —
+    /// the triangular stage feeds β survivors into the Ptolemaic cut, so
+    /// `β = 0` would yield zero candidates and `β < γ` silently caps
+    /// survivors at β — and the metric must support the Ptolemaic bound
+    /// (Ptolemy's inequality is Euclidean: it holds for L2 and
+    /// cosine-as-normalized-L2, **not** for L1, where the "bound" can
+    /// exceed the true distance and prune correct answers).
+    pub fn validate(&self, metric: Metric) {
         assert!(
             self.k > 0 && self.alpha > 0 && self.gamma > 0,
             "degenerate query params"
         );
         if self.filter == FilterKind::TriangularPtolemaic {
+            assert!(
+                metric.supports_ptolemaic(),
+                "the Ptolemaic filter is unsound under {metric}: Ptolemy's inequality only \
+                 holds in Euclidean geometry (use FilterKind::TriangularOnly)"
+            );
             assert!(
                 self.beta >= self.gamma,
                 "beta ({}) must be >= gamma ({}) in the Ptolemaic pipeline",
@@ -220,28 +230,39 @@ mod tests {
 
     #[test]
     fn validate_accepts_the_convenience_constructors() {
-        QueryParams::triangular(256, 64, 10).validate();
-        QueryParams::ptolemaic(256, 128, 64, 10).validate();
+        QueryParams::triangular(256, 64, 10).validate(Metric::L2);
+        QueryParams::ptolemaic(256, 128, 64, 10).validate(Metric::L2);
         // β = γ is the paper's triangular-only framing and stays legal.
-        QueryParams::ptolemaic(256, 64, 64, 10).validate();
+        QueryParams::ptolemaic(256, 64, 64, 10).validate(Metric::L2);
+        // The Ptolemaic bound is sound on the unit sphere (cosine = L2
+        // there), and triangular-only is fine in any metric space.
+        QueryParams::ptolemaic(256, 128, 64, 10).validate(Metric::Cosine);
+        QueryParams::triangular(256, 64, 10).validate(Metric::L1);
+        QueryParams::triangular(256, 64, 10).validate(Metric::Cosine);
     }
 
     #[test]
     #[should_panic(expected = "beta (0) must be >= gamma")]
     fn validate_rejects_zero_beta_in_ptolemaic_mode() {
-        QueryParams::ptolemaic(256, 0, 64, 10).validate();
+        QueryParams::ptolemaic(256, 0, 64, 10).validate(Metric::L2);
     }
 
     #[test]
     #[should_panic(expected = "beta (32) must be >= gamma (64)")]
     fn validate_rejects_beta_below_gamma() {
-        QueryParams::ptolemaic(256, 32, 64, 10).validate();
+        QueryParams::ptolemaic(256, 32, 64, 10).validate(Metric::L2);
     }
 
     #[test]
     #[should_panic(expected = "degenerate query params")]
     fn validate_rejects_zero_k() {
-        QueryParams::triangular(256, 64, 0).validate();
+        QueryParams::triangular(256, 64, 0).validate(Metric::L2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ptolemaic filter is unsound under l1")]
+    fn validate_rejects_ptolemaic_under_l1() {
+        QueryParams::ptolemaic(256, 128, 64, 10).validate(Metric::L1);
     }
 
     #[test]

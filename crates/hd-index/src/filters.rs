@@ -3,13 +3,23 @@
 //! Both filters run entirely on leaf-resident reference distances — they cost
 //! CPU but **zero** additional IO, which is why the paper can afford to fetch
 //! α·τ candidates and refine only κ ≤ τ·γ of them.
+//!
+//! **Metric applicability.** The triangular bound needs only the triangle
+//! inequality, so it is sound in *any* metric space — L2, L1, and
+//! cosine-as-normalized-L2 alike — provided `q_dists`/`o_dists` were
+//! computed in that metric's [`hd_core::metric::Metric::linear_dist`]. The
+//! Ptolemaic bound rests on Ptolemy's inequality, a strictly Euclidean
+//! property: sound for L2 and cosine (true L2 on the unit sphere), unsound
+//! for L1 — [`crate::QueryParams::validate`] rejects that combination
+//! before a query ever reaches this module.
 
 use crate::reference::ReferenceSet;
 
 /// Triangular lower bound (Eq. 5):
 /// `d(q, o) ≥ max_i |d(q, R_i) − d(o, R_i)|`.
 ///
-/// `q_dists[i] = d(q, R_i)`, `o_dists[i] = d(o, R_i)`.
+/// `q_dists[i] = d(q, R_i)`, `o_dists[i] = d(o, R_i)`, all in one metric's
+/// linear distance — the bound then holds in that metric.
 #[inline]
 pub fn triangular_lb(q_dists: &[f32], o_dists: &[f32]) -> f32 {
     debug_assert_eq!(q_dists.len(), o_dists.len());
@@ -92,6 +102,54 @@ mod tests {
                     lb <= actual + 1e-3,
                     "triangular bound {lb} exceeds true distance {actual}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_is_a_true_lower_bound_under_l1() {
+        // The triangular bound holds in any metric space; check it end to
+        // end with L1 reference distances against true L1 distances.
+        use hd_core::distance::l1;
+        use hd_core::metric::Metric;
+        let data = generate(&DatasetProfile::GLOVE, 200, 1, 9).0.with_metric(Metric::L1);
+        let refs = crate::reference::select(&data, 8, crate::RefSelection::Random, 4);
+        assert_eq!(refs.metric(), Metric::L1);
+        let mut qd = Vec::new();
+        let mut od = Vec::new();
+        for q in 0..20 {
+            refs.distances_to(data.get(q), &mut qd);
+            for o in 100..150 {
+                refs.distances_to(data.get(o), &mut od);
+                let lb = triangular_lb(&qd, &od);
+                let actual = l1(data.get(q), data.get(o));
+                assert!(
+                    lb <= actual + 1e-2 * (1.0 + actual),
+                    "L1 triangular bound {lb} exceeds true distance {actual}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_bounds_hold_under_cosine_normalization() {
+        // Cosine reduces to L2 on the unit sphere, so *both* bounds apply —
+        // against the normalized-space L2 distance (the space the index
+        // filters in).
+        use hd_core::metric::Metric;
+        let data = generate(&DatasetProfile::GLOVE, 200, 1, 10).0.with_metric(Metric::Cosine);
+        let refs = crate::reference::select(&data, 8, crate::RefSelection::Random, 4);
+        let mut qd = Vec::new();
+        let mut od = Vec::new();
+        for q in 0..15 {
+            refs.distances_to(data.get(q), &mut qd);
+            for o in 100..140 {
+                refs.distances_to(data.get(o), &mut od);
+                let actual = l2(data.get(q), data.get(o));
+                let tri = triangular_lb(&qd, &od);
+                let pto = ptolemaic_lb(&qd, &od, &refs);
+                assert!(tri <= actual + 1e-4, "tri {tri} > {actual}");
+                assert!(pto <= actual + 1e-3, "pto {pto} > {actual}");
             }
         }
     }

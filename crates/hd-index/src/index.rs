@@ -8,7 +8,7 @@ use crate::reference::{self, ReferenceSet};
 use hd_btree::BTree;
 use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest};
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2_sq_bounded_traced;
+use hd_core::metric::Metric;
 use hd_core::partition::Partitioning;
 use hd_core::topk::{Neighbor, TopK};
 use hd_hilbert::HilbertCurve;
@@ -46,11 +46,17 @@ struct RefineStats {
 ///
 /// Walks sorted candidate `ids` in heap-page runs, fetches each run once
 /// into the reusable `arena` ([`VectorHeap::get_block_into`]), and scores
-/// every vector with the bounded kernel against `tk`'s running radius.
-/// Returns `(evals, abandoned)`: distance evaluations attempted, and those
-/// truly abandoned before touching every dimension.
+/// every vector with `metric`'s bounded kernel
+/// ([`Metric::key_bounded_traced`]) against `tk`'s running radius, so the
+/// one refinement loop serves every metric (metrics without early
+/// abandonment simply evaluate fully). `tk` accumulates internal keys
+/// (squared L2 for L2/Cosine, …); callers convert with
+/// [`Metric::finalize`]. Returns `(evals, abandoned)`: distance
+/// evaluations attempted, and those truly abandoned before touching every
+/// dimension.
 pub fn score_candidates_blocked(
     heap: &VectorHeap,
+    metric: Metric,
     query: &[f32],
     ids: &[u64],
     tk: &mut TopK,
@@ -72,7 +78,8 @@ pub fn score_candidates_blocked(
         heap.get_block_into(block, arena)?;
         for (bi, &id) in block.iter().enumerate() {
             let bound = tk.bound();
-            let (d, early) = l2_sq_bounded_traced(query, &arena[bi * dim..(bi + 1) * dim], bound);
+            let (d, early) =
+                metric.key_bounded_traced(query, &arena[bi * dim..(bi + 1) * dim], bound);
             evals += 1;
             abandoned += usize::from(early);
             if d <= bound {
@@ -109,6 +116,9 @@ pub struct HdIndex {
     refs: ReferenceSet,
     tombstones: HashSet<u64>,
     dim: usize,
+    /// The metric this index was built under (from the dataset); persisted
+    /// in the meta file and enforced at reopen.
+    metric: Metric,
     dir: PathBuf,
     /// Default query-time parameters used when this index is driven through
     /// the [`hd_core::api::AnnIndex`] trait (which only carries `k` and
@@ -151,11 +161,46 @@ impl HdIndex {
         assert!(!data.is_empty(), "cannot index an empty dataset");
         let dim = data.dim();
         assert!(params.tau <= dim, "more trees than dimensions");
+        let metric = data.metric();
+        if !metric.is_metric_space() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "HD-Index's reference-distance lower bounds require a true metric; \
+                     {metric} satisfies no triangle inequality (serve inner-product \
+                     workloads with a brute-force or graph method instead)"
+                ),
+            ));
+        }
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
+        // Metrics that normalize vectors move the corpus into the unit
+        // ball; the Hilbert grid must quantize over the occupied domain,
+        // whatever the caller's (profile-derived) domain says — otherwise
+        // every vector lands in one or two grid cells and candidate
+        // generation silently collapses. Derived here, once, instead of
+        // trusting every call site to remember.
+        let mut params = params.clone();
+        if metric.normalizes_vectors() {
+            params.domain = (-1.0, 1.0);
+        }
+        let params = &params;
+
         // 1. Reference objects and per-object reference distances (these are
         //    the leaf payloads).
+        if let Some(shared) = &opts.references {
+            if shared.metric() != metric {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "shared reference set was selected under {} but the dataset \
+                         records {metric}",
+                        shared.metric()
+                    ),
+                ));
+            }
+        }
         let refs = opts.references.unwrap_or_else(|| {
             reference::select(data, params.num_references, params.ref_selection, params.seed)
         });
@@ -239,6 +284,7 @@ impl HdIndex {
             refs,
             tombstones: HashSet::new(),
             dim,
+            metric,
             dir,
             serve: QueryParams::default(),
         };
@@ -249,9 +295,37 @@ impl HdIndex {
 
     /// Reopens a previously built index from its directory: metadata, τ
     /// RDB-tree files, and the vector heap. Tombstones survive the round
-    /// trip; the reference set is restored bit-exactly.
+    /// trip; the reference set is restored bit-exactly; the index serves
+    /// whatever metric the metadata records (pre-metric-layer metas read
+    /// back as L2). Callers that *expect* a particular metric should use
+    /// [`Self::open_expecting`] instead of trusting the directory.
     pub fn open(dir: impl AsRef<Path>, query_cache_pages: usize) -> io::Result<Self> {
         Self::open_with(dir, query_cache_pages, None)
+    }
+
+    /// [`Self::open`] that refuses to serve when the on-disk index was
+    /// built under a different metric than the caller expects — the
+    /// distances would be silently wrong, which is strictly worse than an
+    /// error.
+    pub fn open_expecting(
+        dir: impl AsRef<Path>,
+        query_cache_pages: usize,
+        expected: Metric,
+    ) -> io::Result<Self> {
+        let index = Self::open_with(&dir, query_cache_pages, None)?;
+        if index.metric != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "index at {} was built under metric {} but the caller expects \
+                     {expected}; rebuild the index or fix the caller — serving would \
+                     return wrong distances",
+                    dir.as_ref().display(),
+                    index.metric
+                ),
+            ));
+        }
+        Ok(index)
     }
 
     /// [`Self::open`] with the pools charging a shared [`CacheBudget`].
@@ -263,7 +337,8 @@ impl HdIndex {
         let dir = dir.as_ref().to_path_buf();
         let meta = crate::meta::IndexMeta::read(&dir)?;
         let partitioning = Partitioning::from_groups(meta.dim, meta.groups.clone());
-        let refs = ReferenceSet::from_parts(meta.ref_ids.clone(), meta.ref_vectors.clone());
+        let refs =
+            ReferenceSet::from_parts(meta.ref_ids.clone(), meta.ref_vectors.clone(), meta.metric);
 
         let mut curves = Vec::with_capacity(meta.tau);
         let mut trees = Vec::with_capacity(meta.tau);
@@ -308,6 +383,7 @@ impl HdIndex {
             refs,
             tombstones: meta.tombstones.into_iter().collect(),
             dim: meta.dim,
+            metric: meta.metric,
             dir,
             serve: QueryParams::default(),
         };
@@ -331,6 +407,7 @@ impl HdIndex {
             ref_ids: self.refs.ids.clone(),
             ref_vectors: self.refs.vectors.clone(),
             tombstones,
+            metric: self.metric,
         }
         .write(&self.dir)
     }
@@ -339,12 +416,23 @@ impl HdIndex {
         self.heap.len()
     }
 
+    /// Objects that are stored and not tombstoned — the most candidates
+    /// any query can actually touch.
+    fn live_len(&self) -> usize {
+        self.heap.len() as usize - self.tombstones.len()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The metric this index was built under and serves.
+    pub fn metric(&self) -> Metric {
+        self.metric
     }
 
     pub fn params(&self) -> &HdIndexParams {
@@ -381,7 +469,9 @@ impl HdIndex {
     /// quantities for this query.
     pub fn knn_traced(&self, query: &[f32], qp: &QueryParams) -> io::Result<(Vec<Neighbor>, QueryTrace)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        qp.validate();
+        qp.validate(self.metric);
+        let mut qbuf = Vec::new();
+        let query = self.metric.normalized_query(query, &mut qbuf);
         let before = self.io_stats();
 
         // Distances from the query to all references (kept in memory; §4.4.1
@@ -409,6 +499,14 @@ impl HdIndex {
                 logical_reads: delta.logical_reads,
                 refine_evals: stats.evals,
                 refine_abandoned: stats.abandoned,
+                // The budgets this query actually ran with, so sweeps see
+                // the effective operating point instead of the requested
+                // one. Clamped against the *live* count here (not only in
+                // QueryParams::resolve) so direct knn_traced callers get
+                // honest numbers too — a tree can never surface more
+                // candidates than undeleted objects, however large α is.
+                effective_candidates: qp.alpha.min(self.live_len()),
+                effective_refine: qp.gamma.min(self.live_len()),
             },
         ))
     }
@@ -530,11 +628,17 @@ impl HdIndex {
         }
         let mut tk = TopK::new(k);
         let mut arena: Vec<f32> = Vec::new();
-        let (evals, abandoned) =
-            score_candidates_blocked(&self.heap, query, &candidate_ids, &mut tk, &mut arena)?;
+        let (evals, abandoned) = score_candidates_blocked(
+            &self.heap,
+            self.metric,
+            query,
+            &candidate_ids,
+            &mut tk,
+            &mut arena,
+        )?;
         let mut answer = tk.into_sorted();
         for nb in &mut answer {
-            nb.dist = nb.dist.sqrt();
+            nb.dist = self.metric.finalize(nb.dist);
         }
         Ok((
             answer,
@@ -553,7 +657,10 @@ impl HdIndex {
     /// that every per-tree filter depends on.
     ///
     /// `q_dists[i]` must be `d(query, R_i)` against exactly
-    /// [`Self::references`], in order.
+    /// [`Self::references`], in order, and `query` must already be in index
+    /// form (unit-normalized for cosine) — the engine normalizes once per
+    /// batch before computing the shared reference distances, so this path
+    /// must not normalize again.
     pub fn knn_with_ref_dists(
         &self,
         query: &[f32],
@@ -562,7 +669,7 @@ impl HdIndex {
     ) -> io::Result<Vec<Neighbor>> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         assert_eq!(q_dists.len(), self.refs.m(), "reference-distance count mismatch");
-        qp.validate();
+        qp.validate(self.metric);
         let mut candidate_ids: Vec<u64> = Vec::with_capacity(qp.gamma * self.trees.len());
         for g in 0..self.trees.len() {
             candidate_ids.extend(self.tree_candidates(g, query, q_dists, qp)?.0);
@@ -578,7 +685,9 @@ impl HdIndex {
     /// sequential.
     pub fn knn_parallel(&self, query: &[f32], qp: &QueryParams) -> io::Result<Vec<Neighbor>> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        qp.validate();
+        qp.validate(self.metric);
+        let mut qbuf = Vec::new();
+        let query = self.metric.normalized_query(query, &mut qbuf);
         let mut q_dists = Vec::with_capacity(self.refs.m());
         self.refs.distances_to(query, &mut q_dists);
         let q_dists = &q_dists;
@@ -605,6 +714,8 @@ impl HdIndex {
     /// The reference set is deliberately not re-selected.
     pub fn insert(&mut self, vector: &[f32]) -> io::Result<u64> {
         assert_eq!(vector.len(), self.dim, "dimensionality mismatch");
+        let mut vbuf = Vec::new();
+        let vector = self.metric.normalized_query(vector, &mut vbuf);
         let id = self.heap.append(vector)?;
         let mut dists = Vec::with_capacity(self.refs.m());
         self.refs.distances_to(vector, &mut dists);
@@ -701,6 +812,10 @@ impl AnnIndex for HdIndex {
         self.dim
     }
 
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Maps the request onto [`QueryParams`]: `candidates` → α (per tree),
     /// `refine` → γ, filter kind and β from [`HdIndex::serve_params`]
     /// ([`QueryParams::resolve`]).
@@ -730,6 +845,7 @@ impl AnnIndex for HdIndex {
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: n * (entry + 4 * m),
             io: self.io_stats(),
+            metric: self.metric,
         }
     }
 
@@ -1037,6 +1153,162 @@ mod tests {
     fn open_missing_dir_errors() {
         let err = HdIndex::open("/nonexistent/hd_index_dir", 0).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn saturated_l1_query_matches_exact_l1_scan() {
+        // α = γ = n under L1: the whole pipeline — L1 reference distances,
+        // triangular-only filter, L1 bounded refinement — must reproduce
+        // the exact L1 scan bit for bit.
+        let n = 600;
+        let (raw, queries) = generate(&DatasetProfile::SIFT, n, 6, 21);
+        let data = raw.with_metric(Metric::L1);
+        let dir = test_dir("l1_exact");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        assert_eq!(index.metric(), Metric::L1);
+        let qp = QueryParams::triangular(n, n, 10);
+        for q in queries.iter() {
+            assert_eq!(
+                index.knn(q, &qp).unwrap(),
+                hd_core::ground_truth::knn_exact(&data, q, 10),
+                "L1 refinement diverged from the exact L1 scan"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn saturated_cosine_query_matches_exact_cosine_scan() {
+        let n = 600;
+        let (raw, queries) = generate(&DatasetProfile::GLOVE, n, 6, 22);
+        let data = raw.with_metric(Metric::Cosine);
+        let dir = test_dir("cos_exact");
+        // No domain override: the builder derives the unit-ball Hilbert
+        // domain from the cosine metric itself.
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        // Both Ptolemaic (sound on the unit sphere) and triangular modes.
+        for qp in [
+            QueryParams::triangular(n, n, 10),
+            QueryParams::ptolemaic(n, n, n, 10),
+        ] {
+            for q in queries.iter() {
+                assert_eq!(
+                    index.knn(q, &qp).unwrap(),
+                    hd_core::ground_truth::knn_exact(&data, q, 10),
+                    "cosine refinement diverged from the exact cosine scan"
+                );
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "Ptolemaic filter is unsound under l1")]
+    fn l1_index_rejects_ptolemaic_queries() {
+        let (raw, _) = generate(&DatasetProfile::SIFT, 300, 1, 23);
+        let data = raw.with_metric(Metric::L1);
+        let dir = test_dir("l1_pto");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        let _ = index.knn(data.get(0), &QueryParams::ptolemaic(64, 32, 16, 5));
+    }
+
+    #[test]
+    fn dot_metric_build_is_refused_cleanly() {
+        let (raw, _) = generate(&DatasetProfile::SIFT, 200, 1, 24);
+        let data = raw.with_metric(Metric::Dot);
+        let dir = test_dir("dot_np");
+        let err = HdIndex::build(&data, &small_params(), &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("triangle inequality"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn metric_survives_reopen_and_mismatch_is_refused() {
+        let (raw, queries) = generate(&DatasetProfile::GLOVE, 500, 3, 25);
+        let data = raw.with_metric(Metric::Cosine);
+        let dir = test_dir("metric_reopen");
+        let qp = QueryParams::triangular(128, 32, 5);
+        let expected: Vec<Vec<Neighbor>> = {
+            let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+            queries.iter().map(|q| index.knn(q, &qp).unwrap()).collect()
+        };
+        // Reopen adopts the persisted metric and reproduces every answer.
+        let reopened = HdIndex::open(&dir, 0).unwrap();
+        assert_eq!(reopened.metric(), Metric::Cosine);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(reopened.knn(q, &qp).unwrap(), expected[qi], "query {qi}");
+        }
+        // An L2-expecting caller is refused with a clear error instead of
+        // being served cosine distances.
+        let err = HdIndex::open_expecting(&dir, 0, Metric::L2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cosine"), "{err}");
+        // The matching expectation opens fine.
+        assert!(HdIndex::open_expecting(&dir, 0, Metric::Cosine).is_ok());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn cosine_insert_normalizes_and_is_found() {
+        let (raw, _) = generate(&DatasetProfile::GLOVE, 400, 1, 26);
+        let data = raw.with_metric(Metric::Cosine);
+        let dir = test_dir("cos_insert");
+        let mut index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        // Insert a raw (unnormalized) vector; the index must normalize it.
+        let novel: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 3.0).collect();
+        let id = index.insert(&novel).unwrap();
+        let res = index
+            .knn(&novel, &QueryParams::triangular(128, 32, 1))
+            .unwrap();
+        assert_eq!(res[0].id, id);
+        assert!(res[0].dist.abs() < 1e-6, "self cosine distance must be ~0");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn trace_reports_effective_budgets_after_clamping() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 300, 1, 27);
+        let dir = test_dir("clamp_trace");
+        let index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        // Absurd per-call overrides must clamp to n — and the trace must
+        // say so instead of leaving the sweep guessing.
+        let req = SearchRequest::new(5)
+            .with_candidates(usize::MAX)
+            .with_refine(usize::MAX)
+            .with_trace();
+        let out = index.search(queries.get(0), &req).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.effective_candidates, 300, "α must clamp to n");
+        assert_eq!(trace.effective_refine, 300, "γ must clamp to n");
+        // Unclamped requests report the requested budgets.
+        let out = index
+            .search(queries.get(0), &SearchRequest::new(5).with_candidates(64).with_refine(16).with_trace())
+            .unwrap();
+        let trace = out.trace.unwrap();
+        assert_eq!(trace.effective_candidates, 64);
+        assert_eq!(trace.effective_refine, 16);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn effective_budgets_account_for_tombstones() {
+        let (data, queries) = generate(&DatasetProfile::SIFT, 300, 1, 28);
+        let dir = test_dir("clamp_tomb");
+        let mut index = HdIndex::build(&data, &small_params(), &dir).unwrap();
+        for id in 0..200u64 {
+            index.delete(id).unwrap();
+        }
+        // Only 100 objects remain live: a tree can never surface more, so
+        // a saturating override must report 100, not the stored 300.
+        let req = SearchRequest::new(5)
+            .with_candidates(usize::MAX)
+            .with_refine(usize::MAX)
+            .with_trace();
+        let trace = index.search(queries.get(0), &req).unwrap().trace.unwrap();
+        assert_eq!(trace.effective_candidates, 100, "α must clamp to the live count");
+        assert_eq!(trace.effective_refine, 100, "γ must clamp to the live count");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! serialized as IEEE-754 bit patterns in hex, making the round trip
 //! bit-exact without a serialization dependency.
 
+use hd_core::metric::Metric;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 
 pub const META_FILE: &str = "meta.txt";
-const MAGIC: &str = "hdindex-meta v1";
+/// v1 metas predate the metric layer: no `metric` line, implicitly L2.
+const MAGIC_V1: &str = "hdindex-meta v1";
+/// v2 metas carry an optional `metric` line (absent still means L2).
+const MAGIC_V2: &str = "hdindex-meta v2";
 
 /// The persisted state of an [`crate::HdIndex`].
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +29,10 @@ pub struct IndexMeta {
     pub ref_ids: Vec<u64>,
     pub ref_vectors: Vec<Vec<f32>>,
     pub tombstones: Vec<u64>,
+    /// The metric the index was built under. Versioned: v1 metas have no
+    /// `metric` line and read back as [`Metric::L2`], which is what every
+    /// pre-metric-layer index was.
+    pub metric: Metric,
 }
 
 fn f32_hex(v: f32) -> String {
@@ -48,7 +56,8 @@ impl IndexMeta {
         let tmp = dir.join(format!("{META_FILE}.tmp"));
         {
             let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
-            writeln!(f, "{MAGIC}")?;
+            writeln!(f, "{MAGIC_V2}")?;
+            writeln!(f, "metric {}", self.metric)?;
             writeln!(f, "dim {}", self.dim)?;
             writeln!(f, "n {}", self.n)?;
             writeln!(f, "tau {}", self.tau)?;
@@ -77,7 +86,7 @@ impl IndexMeta {
         let first = lines.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidData, "empty metadata file")
         })??;
-        if first != MAGIC {
+        if first != MAGIC_V1 && first != MAGIC_V2 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("bad metadata magic: {first}"),
@@ -94,11 +103,21 @@ impl IndexMeta {
             ref_ids: Vec::new(),
             ref_vectors: Vec::new(),
             tombstones: Vec::new(),
+            metric: Metric::L2,
         };
         for line in lines {
             let line = line?;
             let mut it = line.split_whitespace();
             match it.next() {
+                Some("metric") => {
+                    let name = it.next().unwrap_or("");
+                    meta.metric = Metric::parse(name).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown metric in metadata: {name}"),
+                        )
+                    })?;
+                }
                 Some("dim") => meta.dim = parse(it.next().unwrap_or(""), "dim")?,
                 Some("n") => meta.n = parse(it.next().unwrap_or(""), "n")?,
                 Some("tau") => meta.tau = parse(it.next().unwrap_or(""), "tau")?,
@@ -158,6 +177,7 @@ mod tests {
             ref_ids: vec![7, 42],
             ref_vectors: vec![vec![0.1, -0.2, 3.5e8, 0.0], vec![1.0, 2.0, 3.0, 4.0]],
             tombstones: vec![5, 99],
+            metric: Metric::L2,
         }
     }
 
@@ -189,6 +209,54 @@ mod tests {
         meta.tombstones.clear();
         meta.write(&dir).unwrap();
         assert_eq!(IndexMeta::read(&dir).unwrap().tombstones, Vec::<u64>::new());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn every_metric_round_trips() {
+        let dir = std::env::temp_dir().join(format!("hd_meta_metric_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for m in Metric::ALL {
+            let mut meta = sample();
+            meta.metric = m;
+            meta.write(&dir).unwrap();
+            assert_eq!(IndexMeta::read(&dir).unwrap().metric, m);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v1_meta_without_metric_line_defaults_to_l2() {
+        // A pre-metric-layer meta file: v1 magic, no `metric` line. It must
+        // read back as an L2 index (what every v1 index was).
+        let dir = std::env::temp_dir().join(format!("hd_meta_v1_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = sample();
+        meta.write(&dir).unwrap();
+        let written = std::fs::read_to_string(dir.join(META_FILE)).unwrap();
+        let v1 = written
+            .replace("hdindex-meta v2", "hdindex-meta v1")
+            .lines()
+            .filter(|l| !l.starts_with("metric "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(dir.join(META_FILE), v1).unwrap();
+        let back = IndexMeta::read(&dir).unwrap();
+        assert_eq!(back.metric, Metric::L2);
+        assert_eq!(back.dim, meta.dim);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_metric_name_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("hd_meta_badm_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        sample().write(&dir).unwrap();
+        let written = std::fs::read_to_string(dir.join(META_FILE)).unwrap();
+        std::fs::write(dir.join(META_FILE), written.replace("metric l2", "metric chebyshev"))
+            .unwrap();
+        let err = IndexMeta::read(&dir).unwrap_err();
+        assert!(err.to_string().contains("unknown metric"), "{err}");
         std::fs::remove_dir_all(dir).ok();
     }
 }

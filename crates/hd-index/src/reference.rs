@@ -8,24 +8,36 @@
 
 use crate::config::RefSelection;
 use hd_core::dataset::Dataset;
-use hd_core::distance::l2;
+use hd_core::metric::Metric;
 use hd_core::ObjectId;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// The selected reference objects, their vectors (pinned in memory: m ≪ n,
 /// §4.4.1), and the pairwise distance matrix the Ptolemaic filter divides by.
+///
+/// All distances are in the set's [`Metric::linear_dist`] — the
+/// triangle-inequality distance reference bounds are sound in (true L2 for
+/// L2/Cosine, L1 for L1). Selection inherits the metric of the dataset it
+/// ran over, so reference distances and query distances can never disagree
+/// on the distance function.
 #[derive(Debug, Clone)]
 pub struct ReferenceSet {
     pub ids: Vec<ObjectId>,
     pub vectors: Vec<Vec<f32>>,
     /// `dist[i * m + j] = d(R_i, R_j)`.
     pub pairwise: Vec<f32>,
+    metric: Metric,
 }
 
 impl ReferenceSet {
     pub fn m(&self) -> usize {
         self.ids.len()
+    }
+
+    /// The metric all of this set's distances are computed in.
+    pub fn metric(&self) -> Metric {
+        self.metric
     }
 
     /// `d(R_i, R_j)`.
@@ -35,10 +47,11 @@ impl ReferenceSet {
     }
 
     /// Distances from `point` to every reference, appended into `out`
-    /// (cleared first).
+    /// (cleared first). `point` must already be in index form (unit-
+    /// normalized for cosine) — reference vectors always are.
     pub fn distances_to(&self, point: &[f32], out: &mut Vec<f32>) {
         out.clear();
-        out.extend(self.vectors.iter().map(|r| l2(point, r)));
+        out.extend(self.vectors.iter().map(|r| self.metric.linear_dist(point, r)));
     }
 
     /// Heap bytes held by the reference set (query-resident state).
@@ -48,15 +61,15 @@ impl ReferenceSet {
             + self.ids.capacity() * std::mem::size_of::<ObjectId>()
     }
 
-    /// Rebuilds a reference set from persisted ids and vectors, recomputing
-    /// the pairwise matrix.
-    pub fn from_parts(ids: Vec<ObjectId>, vectors: Vec<Vec<f32>>) -> Self {
+    /// Rebuilds a reference set from persisted ids and vectors under the
+    /// persisted metric, recomputing the pairwise matrix.
+    pub fn from_parts(ids: Vec<ObjectId>, vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
         assert_eq!(ids.len(), vectors.len(), "ids/vectors mismatch");
         let m = ids.len();
         let mut pairwise = vec![0.0f32; m * m];
         for i in 0..m {
             for j in (i + 1)..m {
-                let d = l2(&vectors[i], &vectors[j]);
+                let d = metric.linear_dist(&vectors[i], &vectors[j]);
                 pairwise[i * m + j] = d;
                 pairwise[j * m + i] = d;
             }
@@ -65,25 +78,13 @@ impl ReferenceSet {
             ids,
             vectors,
             pairwise,
+            metric,
         }
     }
 
     fn from_ids(data: &Dataset, ids: Vec<ObjectId>) -> Self {
         let vectors: Vec<Vec<f32>> = ids.iter().map(|&i| data.get(i as usize).to_vec()).collect();
-        let m = ids.len();
-        let mut pairwise = vec![0.0f32; m * m];
-        for i in 0..m {
-            for j in (i + 1)..m {
-                let d = l2(&vectors[i], &vectors[j]);
-                pairwise[i * m + j] = d;
-                pairwise[j * m + i] = d;
-            }
-        }
-        Self {
-            ids,
-            vectors,
-            pairwise,
-        }
+        Self::from_parts(ids, vectors, data.metric())
     }
 }
 
@@ -92,6 +93,7 @@ impl ReferenceSet {
 /// object, for a bounded number of iterations or until the estimate stops
 /// growing.
 pub fn estimate_dmax(data: &Dataset, seed: u64, max_hops: usize) -> f32 {
+    let metric = data.metric();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut cur = rng.gen_range(0..data.len());
     let mut dmax = 0.0f32;
@@ -100,7 +102,7 @@ pub fn estimate_dmax(data: &Dataset, seed: u64, max_hops: usize) -> f32 {
         let mut far_d = 0.0f32;
         let cv = data.get(cur);
         for (i, p) in data.iter().enumerate() {
-            let d = l2(cv, p);
+            let d = metric.linear_dist(cv, p);
             if d > far_d {
                 far_d = d;
                 far = i;
@@ -115,13 +117,21 @@ pub fn estimate_dmax(data: &Dataset, seed: u64, max_hops: usize) -> f32 {
     dmax
 }
 
-/// Selects `m` reference objects with the given algorithm.
+/// Selects `m` reference objects with the given algorithm, in the metric
+/// recorded on `data` (all spread/distance computations use
+/// [`Metric::linear_dist`]).
 ///
 /// # Panics
-/// Panics if `m == 0` or `m > data.len()`.
+/// Panics if `m == 0`, `m > data.len()`, or the dataset metric is not a
+/// metric space (reference-distance bounds are unsound under dot).
 pub fn select(data: &Dataset, m: usize, method: RefSelection, seed: u64) -> ReferenceSet {
     assert!(m > 0, "need at least one reference object");
     assert!(m <= data.len(), "cannot select more references than objects");
+    assert!(
+        data.metric().is_metric_space(),
+        "reference selection requires a true metric; {} is not one",
+        data.metric()
+    );
     let ids = match method {
         RefSelection::Random => select_random(data, m, seed),
         RefSelection::Sss { f } => select_sss(data, m, f, seed),
@@ -135,6 +145,7 @@ pub fn select(data: &Dataset, m: usize, method: RefSelection, seed: u64) -> Refe
 /// whose minimum distance to the chosen set is largest. On a bounded random
 /// sample for O(sample · m) cost.
 fn select_maxmin(data: &Dataset, m: usize, sample: usize, seed: u64) -> Vec<ObjectId> {
+    let dist = |a: &[f32], b: &[f32]| data.metric().linear_dist(a, b);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x6d61_786d);
     let pool: Vec<ObjectId> = if sample >= data.len() {
         (0..data.len() as ObjectId).collect()
@@ -148,7 +159,7 @@ fn select_maxmin(data: &Dataset, m: usize, sample: usize, seed: u64) -> Vec<Obje
     // min-distance of every pool point to the chosen set, updated greedily.
     let mut min_d: Vec<f32> = pool
         .iter()
-        .map(|&p| l2(data.get(p as usize), data.get(ids[0] as usize)))
+        .map(|&p| dist(data.get(p as usize), data.get(ids[0] as usize)))
         .collect();
     while ids.len() < m {
         let (best_idx, _) = min_d
@@ -171,7 +182,7 @@ fn select_maxmin(data: &Dataset, m: usize, sample: usize, seed: u64) -> Vec<Obje
         }
         ids.push(chosen);
         for (i, &p) in pool.iter().enumerate() {
-            min_d[i] = min_d[i].min(l2(data.get(p as usize), data.get(chosen as usize)));
+            min_d[i] = min_d[i].min(dist(data.get(p as usize), data.get(chosen as usize)));
         }
     }
     ids
@@ -191,6 +202,7 @@ fn select_random(data: &Dataset, m: usize, seed: u64) -> Vec<ObjectId> {
 /// geometrically so the set always reaches `m` (synthetic datasets can be
 /// more compact than `f = 0.3` assumes).
 fn select_sss(data: &Dataset, m: usize, f: f32, seed: u64) -> Vec<ObjectId> {
+    let dist = |a: &[f32], b: &[f32]| data.metric().linear_dist(a, b);
     let dmax = estimate_dmax(data, seed, 10);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5353_535f);
     let mut ids: Vec<ObjectId> = vec![rng.gen_range(0..data.len()) as ObjectId];
@@ -207,7 +219,7 @@ fn select_sss(data: &Dataset, m: usize, f: f32, seed: u64) -> Vec<ObjectId> {
             }
             let min_d = ids
                 .iter()
-                .map(|&r| l2(p, data.get(r as usize)))
+                .map(|&r| dist(p, data.get(r as usize)))
                 .fold(f32::INFINITY, f32::min);
             if min_d > threshold {
                 ids.push(i);
@@ -238,6 +250,7 @@ fn select_sss(data: &Dataset, m: usize, f: f32, seed: u64) -> Vec<ObjectId> {
 /// lower-bounding the distances of a fixed sample of object pairs, and is
 /// replaced when the newcomer's contribution is higher.
 fn select_sss_dyn(data: &Dataset, m: usize, f: f32, pairs: usize, seed: u64) -> Vec<ObjectId> {
+    let dist = |a: &[f32], b: &[f32]| data.metric().linear_dist(a, b);
     let mut ids = select_sss(data, m, f, seed);
     let dmax = estimate_dmax(data, seed, 10);
     let threshold = f * dmax;
@@ -249,7 +262,7 @@ fn select_sss_dyn(data: &Dataset, m: usize, f: f32, pairs: usize, seed: u64) -> 
     // Lower bound of d(a, b) through reference r: |d(a,r) − d(b,r)|.
     let bound_via = |a: usize, b: usize, r: ObjectId| -> f32 {
         let rv = data.get(r as usize);
-        (l2(data.get(a), rv) - l2(data.get(b), rv)).abs()
+        (dist(data.get(a), rv) - dist(data.get(b), rv)).abs()
     };
     // Total bound quality of a candidate reference set.
     let set_quality = |set: &[ObjectId]| -> f32 {
@@ -271,7 +284,7 @@ fn select_sss_dyn(data: &Dataset, m: usize, f: f32, pairs: usize, seed: u64) -> 
         let p = data.get(i as usize);
         let min_d = ids
             .iter()
-            .map(|&r| l2(p, data.get(r as usize)))
+            .map(|&r| dist(p, data.get(r as usize)))
             .fold(f32::INFINITY, f32::min);
         if min_d <= threshold {
             continue;
@@ -299,9 +312,50 @@ fn select_sss_dyn(data: &Dataset, m: usize, f: f32, pairs: usize, seed: u64) -> 
 mod tests {
     use super::*;
     use hd_core::dataset::{generate, DatasetProfile};
+    use hd_core::distance::{l1, l2};
 
     fn small_data() -> Dataset {
         generate(&DatasetProfile::GLOVE, 300, 1, 5).0
+    }
+
+    #[test]
+    fn selection_inherits_the_dataset_metric() {
+        let l1_data = small_data().with_metric(Metric::L1);
+        let r = select(&l1_data, 6, RefSelection::Random, 11);
+        assert_eq!(r.metric(), Metric::L1);
+        let q = l1_data.get(42);
+        let mut out = Vec::new();
+        r.distances_to(q, &mut out);
+        for (i, &d) in out.iter().enumerate() {
+            assert_eq!(d, l1(q, &r.vectors[i]), "reference {i} not an L1 distance");
+        }
+        // Pairwise matrix is in the same metric.
+        assert_eq!(r.dist(0, 1), l1(&r.vectors[0], &r.vectors[1]));
+    }
+
+    #[test]
+    fn cosine_selection_runs_on_unit_vectors() {
+        let data = small_data().with_metric(Metric::Cosine);
+        let r = select(&data, 5, RefSelection::Sss { f: 0.3 }, 3);
+        assert_eq!(r.metric(), Metric::Cosine);
+        for v in &r.vectors {
+            let n = hd_core::distance::norm_sq(v).sqrt();
+            assert!((n - 1.0).abs() < 1e-5, "reference not unit-normalized: ‖v‖ = {n}");
+        }
+        // linear_dist for cosine is true L2, so every pairwise distance is
+        // within the unit-sphere diameter.
+        for i in 0..r.m() {
+            for j in 0..r.m() {
+                assert!(r.dist(i, j) <= 2.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a true metric")]
+    fn dot_metric_datasets_are_refused() {
+        let data = small_data().with_metric(Metric::Dot);
+        select(&data, 5, RefSelection::Random, 1);
     }
 
     #[test]

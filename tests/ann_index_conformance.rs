@@ -19,6 +19,7 @@ use hd_bench::methods::{registry, MethodSpec, Workload};
 use hd_core::api::{AnnIndex, SearchRequest};
 use hd_core::dataset::DatasetProfile;
 use hd_core::ground_truth::knn_exact;
+use hd_core::metric::Metric;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -188,6 +189,7 @@ fn empty_corpora_answer_empty_where_buildable() {
         profile,
         data: hd_core::Dataset::new(profile.dim),
         queries: hd_core::dataset::generate(&profile, 0, 2, 17).1,
+        metric: Metric::L2,
     };
     let mut buildable = 0usize;
     for spec in registry() {
@@ -209,6 +211,193 @@ fn empty_corpora_answer_empty_where_buildable() {
     // The in-memory references handle emptiness today (kd-tree, linear
     // scan, HNSW); keep that floor from regressing.
     assert!(buildable >= 3, "only {buildable} methods still build empty");
+}
+
+/// Every registry entry × every metric it declares: builds, reports the
+/// metric through the trait, honors the (dist, id) ordering and the
+/// batch ≡ sequential contract, and — for exact methods — achieves recall
+/// 1.0 against the metric-aware brute-force ground truth (the ISSUE's
+/// "exact methods must hit recall 1.0 under L1 and cosine", extended to
+/// every declared metric including dot).
+#[test]
+fn every_method_honors_its_declared_metrics() {
+    let k = 10;
+    for spec in registry() {
+        for &metric in spec.supported_metrics {
+            if metric == Metric::L2 {
+                continue; // the L2 leg is the main conformance test above
+            }
+            let w = Workload::with_metric(
+                format!("conf_{}", metric),
+                DatasetProfile::GLOVE,
+                250,
+                4,
+                29,
+                metric,
+            );
+            let queries: Vec<&[f32]> = w.queries.iter().collect();
+            let dir = scratch(&format!("m_{}_{}", spec.name, metric));
+            let index = build(spec, &w, &dir)
+                .unwrap_or_else(|e| panic!("{} under {metric}: build failed: {e}", spec.name));
+            assert_eq!(index.metric(), metric, "{}: metric() disagrees", spec.name);
+            assert_eq!(index.stats().metric, metric, "{}: stats().metric disagrees", spec.name);
+
+            // A request pinned to the right metric passes; the wrong one
+            // is refused at the trait boundary — on the sequential path
+            // *and* on search_batch (the engine's true batched override
+            // must apply the same guard as the provided default).
+            let req = SearchRequest::new(k).with_metric(metric);
+            let wrong = Metric::ALL.iter().copied().find(|&m| m != metric).unwrap();
+            let wrong_req = SearchRequest::new(k).with_metric(wrong);
+            let err = index.search(queries[0], &wrong_req).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{}", spec.name);
+            let err = index.search_batch(&queries, &wrong_req).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidInput,
+                "{}: batch path must refuse mismatched metrics too",
+                spec.name
+            );
+
+            let sequential: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    index
+                        .search(q, &req)
+                        .unwrap_or_else(|e| panic!("{} under {metric}: {e}", spec.name))
+                })
+                .collect();
+            for out in &sequential {
+                assert_eq!(out.neighbors.len(), k, "{} under {metric}", spec.name);
+                assert_well_formed(spec.name, &out.neighbors);
+            }
+            let batch = index.search_batch(&queries, &req).unwrap();
+            for (qi, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+                assert_eq!(
+                    b.neighbors, s.neighbors,
+                    "{} under {metric}: batch diverges on query {qi}",
+                    spec.name
+                );
+            }
+            if spec.exact {
+                for (q, out) in queries.iter().zip(&sequential) {
+                    let truth_ids: Vec<u64> =
+                        knn_exact(&w.data, q, k).iter().map(|n| n.id).collect();
+                    let got_ids: Vec<u64> = out.neighbors.iter().map(|n| n.id).collect();
+                    assert_eq!(
+                        got_ids, truth_ids,
+                        "{} under {metric}: exact method lost recall",
+                        spec.name
+                    );
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Unsupported (method, metric) pairs must refuse cleanly — an `Err` from
+/// the builder, never a wrong-distance index and never a panic.
+#[test]
+fn undeclared_metrics_are_refused_cleanly() {
+    for spec in registry() {
+        for metric in Metric::ALL {
+            if spec.supports(metric) {
+                continue;
+            }
+            let w = Workload::with_metric(
+                format!("refuse_{}", metric),
+                DatasetProfile::GLOVE,
+                60,
+                1,
+                37,
+                metric,
+            );
+            let dir = scratch(&format!("refuse_{}_{}", spec.name, metric));
+            // Engine/kd-tree surface the refusal as a panic-free Err where
+            // the build returns Result; reference-selection asserts are
+            // also acceptable refusals — what is *not* acceptable is a
+            // successfully built index serving the wrong metric.
+            let outcome = catch_unwind(AssertUnwindSafe(|| build(spec, &w, &dir)));
+            if let Ok(Ok(index)) = outcome {
+                panic!(
+                    "{} built under undeclared metric {metric} (serves {})",
+                    spec.name,
+                    index.metric()
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Cosine-via-normalization must rank identically to a brute-force cosine
+/// scan over the *raw* vectors — the reduction's whole claim. Property
+/// test over random raw datasets and queries; ranking comparisons tolerate
+/// floating-point near-ties by checking distances, not positions.
+mod cosine_reduction_property {
+    use super::Metric;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn cosine_normalization_ranks_like_a_raw_cosine_scan(
+            dim in 4usize..=12,
+            n in 30usize..=80,
+            seed in 0u64..1_000_000,
+        ) {
+            let raw = hd_core::dataset::generate_uniform(dim, -5.0, 5.0, n + 1, seed);
+            // Last generated row doubles as the query; the rest is corpus.
+            let query = raw.get(n).to_vec();
+            let mut corpus = hd_core::Dataset::new(dim);
+            for i in 0..n {
+                corpus.push(raw.get(i));
+            }
+
+            // Brute-force cosine over the raw, unnormalized vectors, in f64.
+            let cos = |a: &[f32], b: &[f32]| -> f64 {
+                let (mut dot, mut na, mut nb) = (0f64, 0f64, 0f64);
+                for (x, y) in a.iter().zip(b) {
+                    dot += *x as f64 * *y as f64;
+                    na += *x as f64 * *x as f64;
+                    nb += *y as f64 * *y as f64;
+                }
+                1.0 - dot / (na.sqrt() * nb.sqrt()).max(1e-300)
+            };
+            let mut want: Vec<(f64, u64)> = (0..n)
+                .map(|i| (cos(&query, corpus.get(i)), i as u64))
+                .collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+            // The normalized-L2 path, through the real index machinery.
+            let data = corpus.clone().with_metric(Metric::Cosine);
+            let scan = hd_baselines::LinearScan::new(&data);
+            let got = scan.knn(&query, n);
+
+            prop_assert_eq!(got.len(), n);
+            for (rank, nb) in got.iter().enumerate() {
+                let got_cos = cos(&query, corpus.get(nb.id as usize));
+                // Identical ranking up to f32 near-ties: the candidate at
+                // this rank must have (essentially) the rank-th cosine
+                // distance, and the reported distance must *be* 1 − cos.
+                prop_assert!(
+                    (got_cos - want[rank].0).abs() < 1e-5,
+                    "rank {}: cosine {} vs expected {}",
+                    rank,
+                    got_cos,
+                    want[rank].0
+                );
+                prop_assert!(
+                    (nb.dist as f64 - got_cos).abs() < 1e-4,
+                    "reported {} is not 1 − cos = {}",
+                    nb.dist,
+                    got_cos
+                );
+            }
+        }
+    }
 }
 
 #[test]
