@@ -333,6 +333,10 @@ impl AnnIndex for IDistance {
             build_memory_bytes: self.build_memory_bytes(self.heap.len() as usize, self.heap.dim()),
             io: self.io_stats(),
             metric: hd_core::metric::Metric::L2,
+            // Static baselines: nothing tombstoned, no write path.
+            stored_len: AnnIndex::len(self),
+            live_len: AnnIndex::len(self),
+            write: Default::default(),
         }
     }
 

@@ -178,6 +178,10 @@ impl AnnIndex for DiskLinearScan {
             build_memory_bytes: self.heap.len() as usize * self.heap.dim() * 4,
             io: self.heap.pool().stats(),
             metric: self.metric,
+            // Static baselines: nothing tombstoned, no write path.
+            stored_len: AnnIndex::len(self),
+            live_len: AnnIndex::len(self),
+            write: Default::default(),
         }
     }
 

@@ -291,6 +291,10 @@ impl AnnIndex for C2lsh {
             build_memory_bytes: self.memory_bytes() + self.corpus_bytes,
             io: self.io_stats(),
             metric: hd_core::metric::Metric::L2,
+            // Static baselines: nothing tombstoned, no write path.
+            stored_len: AnnIndex::len(self),
+            live_len: AnnIndex::len(self),
+            write: Default::default(),
         }
     }
 

@@ -236,6 +236,10 @@ impl AnnIndex for E2lsh {
             build_memory_bytes: self.memory_bytes() + self.n * self.heap.dim() * 4,
             io: self.io_stats(),
             metric: hd_core::metric::Metric::L2,
+            // Static baselines: nothing tombstoned, no write path.
+            stored_len: AnnIndex::len(self),
+            live_len: AnnIndex::len(self),
+            write: Default::default(),
         }
     }
 

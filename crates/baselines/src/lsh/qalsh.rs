@@ -339,6 +339,10 @@ impl AnnIndex for Qalsh {
             build_memory_bytes: self.n * 24 + self.corpus_bytes,
             io: self.io_stats(),
             metric: hd_core::metric::Metric::L2,
+            // Static baselines: nothing tombstoned, no write path.
+            stored_len: AnnIndex::len(self),
+            live_len: AnnIndex::len(self),
+            write: Default::default(),
         }
     }
 

@@ -196,6 +196,10 @@ impl AnnIndex for Srs {
             build_memory_bytes: self.memory_bytes() + self.heap.dim() * 4 * self.params.m,
             io: self.io_stats(),
             metric: hd_core::metric::Metric::L2,
+            // Static baselines: nothing tombstoned, no write path.
+            stored_len: AnnIndex::len(self),
+            live_len: AnnIndex::len(self),
+            write: Default::default(),
         }
     }
 

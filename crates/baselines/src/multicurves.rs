@@ -299,6 +299,10 @@ impl AnnIndex for Multicurves {
             build_memory_bytes: self.n * (self.dim * 4 + 64),
             io: self.io_stats(),
             metric: self.metric,
+            // Static baselines: nothing tombstoned, no write path.
+            stored_len: AnnIndex::len(self),
+            live_len: AnnIndex::len(self),
+            write: Default::default(),
         }
     }
 

@@ -72,6 +72,7 @@ fn main() {
             threads: 0,
             cache_budget_pages: 4096,
             index: index_params.clone(),
+            compaction_threshold: None,
         };
         // Build once per shard count; each serving configuration below
         // reopens the same files with its own pool and fresh metrics.

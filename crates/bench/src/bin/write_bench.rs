@@ -1,0 +1,182 @@
+//! write_bench: throughput of the durable write path.
+//!
+//! Three sections, all over one SIFT-profile corpus:
+//!
+//! 1. **Insert throughput vs. commit batch** — the WAL fsyncs on every
+//!    commit, so `commit_every = 1` (the autocommit default) pays one
+//!    fsync per insert while larger batches amortize it. The table shows
+//!    where the knee sits on this machine's storage.
+//! 2. **Delete throughput** — tombstone appends under per-op commit, the
+//!    default serving configuration.
+//! 3. **Compaction** — tombstone 30% of the corpus, rebuild over the
+//!    survivors, and report wall time, reclaimed bytes, and the density
+//!    column the serving tables share (`table::pct`).
+//!
+//! `--json PATH` additionally writes the numbers as a JSON object so runs
+//! can be checked in and diffed (`BENCH_write_bench.json`).
+
+use hd_bench::config::BenchConfig;
+use hd_bench::table;
+use hd_core::dataset::{generate, DatasetProfile};
+use hd_index::{HdIndex, HdIndexParams};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BASE_N: usize = 20_000;
+const COMMIT_BATCHES: [usize; 4] = [1, 8, 64, 512];
+
+fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let json_path = json_path_from_args();
+    let profile = DatasetProfile::SIFT;
+    let n = cfg.n(BASE_N);
+    let inserts = (n / 4).max(100);
+    let (data, extra) = generate(&profile, n, inserts, cfg.seed);
+    let params = HdIndexParams {
+        build_cache_pages: 256,
+        query_cache_pages: 64,
+        ..HdIndexParams::for_profile(&profile)
+    };
+    let scratch = cfg.scratch("write_bench");
+    println!(
+        "write_bench: n = {n}, dim = {}, {} inserts per run, {} deletes before compaction",
+        profile.dim,
+        inserts,
+        (n * 3) / 10
+    );
+
+    // §1 Insert throughput vs. commit batch. A fresh index per batch size
+    // so every run appends to an identical WAL and heap.
+    let widths = [8usize, 10, 10, 10, 12];
+    table::header(
+        "insert throughput vs. WAL commit batch",
+        &["batch", "ops/s", "ms/op", "fsyncs", "fsyncs/op"],
+        &widths,
+    );
+    let mut insert_rows = Vec::new();
+    for batch in COMMIT_BATCHES {
+        let dir = scratch.join(format!("insert_b{batch}"));
+        let mut index = HdIndex::build(&data, &params, &dir).expect("build");
+        index.set_autocommit(batch == 1);
+        let commits_before = index.write_stats().wal_commits;
+        let t0 = Instant::now();
+        for (i, v) in extra.iter().enumerate() {
+            index.insert(v).expect("insert");
+            if batch > 1 && (i + 1) % batch == 0 {
+                index.commit_wal().expect("commit");
+            }
+        }
+        index.commit_wal().expect("final commit");
+        let secs = t0.elapsed().as_secs_f64();
+        let fsyncs = index.write_stats().wal_commits - commits_before;
+        let ops = inserts as f64 / secs;
+        table::row(
+            &[
+                batch.to_string(),
+                format!("{ops:.0}"),
+                table::ms(secs * 1000.0 / inserts as f64),
+                fsyncs.to_string(),
+                format!("{:.3}", fsyncs as f64 / inserts as f64),
+            ],
+            &widths,
+        );
+        insert_rows.push((batch, ops, fsyncs));
+        if batch != *COMMIT_BATCHES.last().unwrap() {
+            drop(index);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    // §2 + §3 Delete throughput, then compaction over the tombstones. Runs
+    // against the last insert index (n + inserts objects, committed WAL).
+    let dir = scratch.join(format!("insert_b{}", COMMIT_BATCHES.last().unwrap()));
+    let mut index = HdIndex::open(&dir, params.query_cache_pages).expect("reopen");
+    index.save().expect("snapshot before the delete run");
+    let total = index.next_id();
+    let victims: Vec<u64> = (0..total)
+        .filter(|id| id.wrapping_mul(2_654_435_761) % 10 < 3)
+        .collect();
+    let t0 = Instant::now();
+    for &id in &victims {
+        index.delete(id).expect("delete");
+    }
+    let del_secs = t0.elapsed().as_secs_f64();
+    let del_ops = victims.len() as f64 / del_secs;
+    let widths = [10usize, 10, 10];
+    table::header("delete throughput (per-op commit)", &["deletes", "ops/s", "ms/op"], &widths);
+    table::row(
+        &[
+            victims.len().to_string(),
+            format!("{del_ops:.0}"),
+            table::ms(del_secs * 1000.0 / victims.len() as f64),
+        ],
+        &widths,
+    );
+
+    let density = index.tombstone_density();
+    let bytes_before = index.disk_bytes();
+    let t0 = Instant::now();
+    assert!(index.compact().expect("compact"), "30% tombstones must compact");
+    let comp_secs = t0.elapsed().as_secs_f64();
+    let bytes_after = index.disk_bytes();
+    let survivors = index.live_len();
+    let widths = [9usize, 10, 10, 12, 12, 12];
+    table::header(
+        "compaction (rebuild over survivors)",
+        &["density", "wall", "vecs/s", "before", "after", "reclaimed"],
+        &widths,
+    );
+    table::row(
+        &[
+            table::pct(density),
+            table::ms(comp_secs * 1000.0),
+            format!("{:.0}", survivors as f64 / comp_secs),
+            format!("{:.1}MB", bytes_before as f64 / 1e6),
+            format!("{:.1}MB", bytes_after as f64 / 1e6),
+            table::pct(1.0 - bytes_after as f64 / bytes_before as f64),
+        ],
+        &widths,
+    );
+
+    if let Some(path) = json_path {
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"bench\": \"write_bench\",");
+        let _ = writeln!(j, "  \"scale\": {},", cfg.scale);
+        let _ = writeln!(j, "  \"seed\": {},", cfg.seed);
+        let _ = writeln!(j, "  \"n\": {n},");
+        let _ = writeln!(j, "  \"dim\": {},", profile.dim);
+        let _ = writeln!(j, "  \"inserts\": {inserts},");
+        let _ = writeln!(j, "  \"insert_runs\": [");
+        for (i, (batch, ops, fsyncs)) in insert_rows.iter().enumerate() {
+            let comma = if i + 1 < insert_rows.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "    {{ \"commit_every\": {batch}, \"ops_per_sec\": {ops:.1}, \"fsyncs\": {fsyncs} }}{comma}"
+            );
+        }
+        let _ = writeln!(j, "  ],");
+        let _ = writeln!(
+            j,
+            "  \"delete\": {{ \"count\": {}, \"ops_per_sec\": {del_ops:.1} }},",
+            victims.len()
+        );
+        let _ = writeln!(
+            j,
+            "  \"compaction\": {{ \"tombstone_density\": {density:.4}, \"seconds\": {comp_secs:.4}, \
+             \"bytes_before\": {bytes_before}, \"bytes_after\": {bytes_after}, \"survivors\": {survivors} }}"
+        );
+        j.push_str("}\n");
+        std::fs::write(&path, j).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+
+    std::fs::remove_dir_all(&scratch).ok();
+}

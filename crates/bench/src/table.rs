@@ -42,6 +42,16 @@ pub fn ms(v: f64) -> String {
     }
 }
 
+/// Formats a fraction (0..=1) as a percentage with one decimal, or a dash
+/// for NaN. Used for tombstone-density and space-overhead columns.
+pub fn pct(v: f64) -> String {
+    if v.is_nan() {
+        "—".into()
+    } else {
+        format!("{:.1}%", v * 100.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -51,5 +61,7 @@ mod tests {
         assert_eq!(super::ms(0.5), "500µs");
         assert_eq!(super::ms(12.345), "12.35ms");
         assert_eq!(super::ms(2500.0), "2.50s");
+        assert_eq!(super::pct(0.2994), "29.9%");
+        assert_eq!(super::pct(f64::NAN), "—");
     }
 }

@@ -410,6 +410,27 @@ impl BTree {
         }
     }
 
+    /// Inserts `key`, or overwrites the value of the first existing entry
+    /// equal to `key` in place. Returns `true` when a new entry was created,
+    /// `false` when an existing one was overwritten.
+    ///
+    /// Plain [`BTree::insert`] allows duplicates, so WAL replay uses this
+    /// instead: re-applying a logged insert that already reached the tree
+    /// before a crash must not create a second entry.
+    pub fn upsert(&mut self, key: &[u8], value: &[u8]) -> io::Result<bool> {
+        assert_eq!(key.len(), self.key_len, "key size mismatch");
+        assert_eq!(value.len(), self.val_len, "value size mismatch");
+        let c = self.seek(key)?;
+        if c.valid() && c.key() == key {
+            let mut leaf = c.page.to_vec();
+            Leaf::write_entry(&mut leaf, c.slot as usize, key, value);
+            self.pool.write(c.page_id, &leaf)?;
+            return Ok(false);
+        }
+        self.insert(key, value)?;
+        Ok(true)
+    }
+
     /// Exact-match lookup: the value of the first entry equal to `key`.
     pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
         let c = self.seek(key)?;
@@ -609,6 +630,31 @@ mod tests {
             assert_eq!(t.get(&key8(i * 2 + 1)).unwrap(), None);
         }
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn upsert_overwrites_in_place() {
+        let (pool, path) = fresh_pool("upsert", 256, 64);
+        let mut t = BTree::create(pool, 8, 4).unwrap();
+        t.bulk_load((0..300u64).map(|i| (key8(i * 2), val4(i))), 1.0).unwrap();
+        // Overwrite an existing key: count stays, value changes.
+        assert!(!t.upsert(&key8(100), &val4(999)).unwrap());
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.get(&key8(100)).unwrap(), Some(val4(999)));
+        // Upsert a missing key: behaves as insert.
+        assert!(t.upsert(&key8(101), &val4(7)).unwrap());
+        assert_eq!(t.len(), 301);
+        assert_eq!(t.get(&key8(101)).unwrap(), Some(val4(7)));
+        // Idempotent: upserting the same pair again changes nothing.
+        assert!(!t.upsert(&key8(101), &val4(7)).unwrap());
+        assert_eq!(t.len(), 301);
+        // Empty-tree upsert inserts.
+        let (pool2, path2) = fresh_pool("upsert_empty", 256, 64);
+        let mut t2 = BTree::create(pool2, 8, 4).unwrap();
+        assert!(t2.upsert(&key8(1), &val4(1)).unwrap());
+        assert_eq!(t2.len(), 1);
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(path2).ok();
     }
 
     #[test]

@@ -178,6 +178,22 @@ impl SearchOutput {
     }
 }
 
+/// Durability and space-reclamation counters for methods with a write-ahead
+/// log (HD-Index and the serving engine; zero for everything else).
+/// `wal_records / wal_commits` is the fsync amortization of the write path —
+/// the quantity `write_bench` tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// WAL records appended since open.
+    pub wal_records: u64,
+    /// WAL commit batches fsynced since open.
+    pub wal_commits: u64,
+    /// WAL records applied by crash recovery at the last open.
+    pub wal_replayed: u64,
+    /// Tombstone compactions applied since open.
+    pub compactions: u64,
+}
+
 /// Uniform resource accounting (§5's evaluation dimensions beyond quality
 /// and wall-clock time). All fields refer to the *current* state of the
 /// index; IO counters accumulate since the last
@@ -197,6 +213,15 @@ pub struct IndexStats {
     /// The metric this index serves ([`AnnIndex::metric`]), so resource
     /// reports carry the distance function alongside the numbers.
     pub metric: Metric,
+    /// Objects currently stored (slots in the heap/structure), tombstoned
+    /// or not. `0` when the method does not report occupancy.
+    pub stored_len: u64,
+    /// Stored objects that are not tombstoned — what queries can actually
+    /// return. `0` when the method does not report occupancy.
+    pub live_len: u64,
+    /// Write-path counters (WAL, compaction). All-zero for methods without
+    /// a durable write path.
+    pub write: WriteStats,
 }
 
 impl IndexStats {
@@ -208,6 +233,20 @@ impl IndexStats {
             build_memory_bytes: memory_bytes,
             io: IoSnapshot::default(),
             metric: Metric::L2,
+            stored_len: 0,
+            live_len: 0,
+            write: WriteStats::default(),
+        }
+    }
+
+    /// Fraction of stored objects that are tombstoned, in `[0, 1]` — the
+    /// quantity compaction thresholds and the bench tables' `dead` column
+    /// are defined over. `0.0` when occupancy is not reported.
+    pub fn tombstone_density(&self) -> f64 {
+        if self.stored_len == 0 {
+            0.0
+        } else {
+            (self.stored_len - self.live_len) as f64 / self.stored_len as f64
         }
     }
 
@@ -318,6 +357,20 @@ pub trait Lifecycle: AnnIndex {
 
     /// Tombstones an object id so it is never returned again.
     fn delete(&mut self, id: u64) -> io::Result<()>;
+
+    /// Makes every applied write durable (commits the WAL and/or snapshots
+    /// the on-disk state, method-defined). The default is a no-op for
+    /// methods whose writes are immediately durable or purely in-memory.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Reclaims the space held by tombstoned objects, rebuilding the index
+    /// over survivors. Returns whether any compaction work ran. The default
+    /// no-op suits methods without tombstone debt.
+    fn compact(&mut self) -> io::Result<bool> {
+        Ok(false)
+    }
 }
 
 #[cfg(test)]
@@ -458,5 +511,16 @@ mod tests {
     fn lifecycle_defaults_to_none() {
         let mut idx = toy();
         assert!(idx.lifecycle().is_none());
+    }
+
+    #[test]
+    fn tombstone_density_follows_occupancy() {
+        let mut s = IndexStats::in_memory(64);
+        assert_eq!(s.tombstone_density(), 0.0, "no occupancy reported");
+        s.stored_len = 10;
+        s.live_len = 7;
+        assert!((s.tombstone_density() - 0.3).abs() < 1e-12);
+        s.live_len = 10;
+        assert_eq!(s.tombstone_density(), 0.0);
     }
 }

@@ -20,6 +20,13 @@ pub struct EngineParams {
     /// selected once over the full corpus with these settings and shared by
     /// all shards (see `hd_index::BuildOpts::references`).
     pub index: HdIndexParams,
+    /// Tombstone-density threshold (fraction of stored slots tombstoned,
+    /// in `(0, 1]`) past which a delete schedules a background compaction
+    /// of the worst shard on the engine's worker pool. `None` (the
+    /// default) never compacts in the background — benches keep
+    /// deterministic file layouts, and callers can still force one with
+    /// [`crate::Engine::compact_now`].
+    pub compaction_threshold: Option<f64>,
 }
 
 impl EngineParams {
@@ -31,6 +38,7 @@ impl EngineParams {
             threads: 0,
             cache_budget_pages: 0,
             index,
+            compaction_threshold: None,
         }
     }
 

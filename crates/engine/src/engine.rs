@@ -2,8 +2,8 @@
 
 use crate::config::EngineParams;
 use crate::metrics::{EngineMetrics, EngineStats};
-use crate::shard::{global_of, shard_of, ShardSet};
-use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest};
+use crate::shard::{global_of, shard_of, Shard, ShardSet};
+use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest, WriteStats};
 use hd_core::dataset::Dataset;
 use hd_core::pool::WorkerPool;
 use hd_core::topk::{Neighbor, TopK};
@@ -11,6 +11,8 @@ use hd_index::QueryParams;
 use parking_lot::Mutex;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A sharded, batched, concurrent query-serving engine over HD-Index.
@@ -38,7 +40,12 @@ pub struct Engine {
     metrics: EngineMetrics,
     /// Total object count; serializes appends so the round-robin placement
     /// invariant (`global id n → shard n mod S`) holds under concurrency.
-    append_gate: Mutex<u64>,
+    /// Shared (`Arc`) with background compaction jobs, which take it while
+    /// installing a rebuilt shard so no write can interleave with the swap.
+    append_gate: Arc<Mutex<u64>>,
+    /// Tombstone-density trigger for background compaction (see
+    /// [`EngineParams::compaction_threshold`]).
+    compaction_threshold: Option<f64>,
     dir: PathBuf,
     /// Default query-time parameters used when the engine is driven through
     /// the [`hd_core::api::AnnIndex`] trait. Set with
@@ -69,7 +76,8 @@ impl Engine {
             set,
             pool,
             metrics: EngineMetrics::new(),
-            append_gate: Mutex::new(n),
+            append_gate: Arc::new(Mutex::new(n)),
+            compaction_threshold: params.compaction_threshold,
             dir,
             serve: QueryParams::default(),
         })
@@ -86,7 +94,8 @@ impl Engine {
             set,
             pool: WorkerPool::new(params.resolved_threads()),
             metrics: EngineMetrics::new(),
-            append_gate: Mutex::new(n),
+            append_gate: Arc::new(Mutex::new(n)),
+            compaction_threshold: params.compaction_threshold,
             dir,
             serve: QueryParams::default(),
         })
@@ -201,34 +210,170 @@ impl Engine {
         let mut n = self.append_gate.lock();
         let s_count = self.set.shards.len() as u64;
         let (si, expected_local) = shard_of(*n, s_count);
-        let local = self.set.shards[si].index.write().insert(vector)?;
+        let shard = &self.set.shards[si];
+        // Durability first, under the shard *read* lock: the WAL append and
+        // its fsync — the slow part of a write — run while searches on this
+        // shard proceed. Only the in-memory/tree mutation below takes the
+        // write lock. The append gate (held across both halves) keeps the
+        // log and apply order identical.
+        let local = shard.index.read().log_insert(vector)?;
         if local != expected_local {
-            // A previously failed insert left the shard's heap longer than
-            // the engine's count (HdIndex::insert appends the descriptor
-            // before the tree inserts). The shard needs a rebuild; surface
+            // The shard's id watermark disagrees with the engine's count —
+            // its directory was modified behind the engine's back. Surface
             // an error on every write rather than panicking the process.
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
-                    "shard {si} drifted from round-robin placement                      (local id {local}, expected {expected_local});                      a failed earlier insert left it inconsistent"
+                    "shard {si} drifted from round-robin placement \
+                     (local id {local}, expected {expected_local})"
                 ),
             ));
         }
+        shard.index.write().apply_insert(local, vector)?;
         *n += 1;
         Ok(global_of(si, local, s_count))
     }
 
-    /// Tombstones a global id so it is never returned again.
+    /// Tombstones a global id so it is never returned again. May schedule a
+    /// background compaction (see [`EngineParams::compaction_threshold`]).
     pub fn delete(&self, global_id: u64) -> io::Result<()> {
-        let n = self.append_gate.lock();
-        if global_id >= *n {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("object {global_id} out of bounds ({n} stored)"),
-            ));
+        {
+            let n = self.append_gate.lock();
+            if global_id >= *n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("object {global_id} out of bounds ({n} stored)"),
+                ));
+            }
+            let (si, local) = shard_of(global_id, self.set.shards.len() as u64);
+            let shard = &self.set.shards[si];
+            // Same split as insert: log + fsync under the read lock,
+            // tombstone under the write lock.
+            {
+                let index = shard.index.read();
+                if !index.contains_id(local) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("object {global_id} was deleted and compacted away"),
+                    ));
+                }
+                index.log_delete(local)?;
+            }
+            shard.index.write().apply_delete(local)?;
         }
-        let (si, local) = shard_of(global_id, self.set.shards.len() as u64);
-        self.set.shards[si].index.write().delete(local)
+        self.maybe_schedule_compaction();
+        Ok(())
+    }
+
+    /// Schedules a background compaction of the worst shard when its
+    /// tombstone density crosses the configured threshold. At most one
+    /// compaction per shard runs at a time; searches on other shards (and
+    /// on this one, while the rebuild runs) are never blocked.
+    fn maybe_schedule_compaction(&self) {
+        let Some(threshold) = self.compaction_threshold else {
+            return;
+        };
+        let mut worst: Option<(usize, f64)> = None;
+        for (si, shard) in self.set.shards.iter().enumerate() {
+            if shard.compacting.load(Ordering::Acquire) {
+                continue;
+            }
+            let d = shard.index.read().tombstone_density();
+            if d >= threshold && worst.is_none_or(|(_, wd)| d > wd) {
+                worst = Some((si, d));
+            }
+        }
+        if let Some((si, _)) = worst {
+            self.spawn_compaction(si);
+        }
+    }
+
+    /// Submits a compaction of shard `si` to the worker pool, unless one is
+    /// already in flight for it.
+    fn spawn_compaction(&self, si: usize) {
+        let shard = Arc::clone(&self.set.shards[si]);
+        if shard.compacting.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let gate = Arc::clone(&self.append_gate);
+        let threshold = self.compaction_threshold.unwrap_or(f64::INFINITY);
+        self.pool.submit(
+            si,
+            Box::new(move || {
+                // A plan prepared while writes keep landing on this shard is
+                // discarded by the epoch check — and the trailing delete saw
+                // `compacting` set, so nobody reschedules. Retry here until
+                // the shard either compacts or drops below the threshold;
+                // each retry prepares against fresher state, and once the
+                // write burst ends the next plan installs. Failure leaves
+                // the shard serving its current generation (stale files are
+                // swept at the next open); the flag flips back either way so
+                // the next delete can retry.
+                loop {
+                    match Self::compact_shard(&shard, &gate) {
+                        Ok(true) | Err(_) => break,
+                        Ok(false) => {
+                            if shard.index.read().tombstone_density() < threshold {
+                                break;
+                            }
+                        }
+                    }
+                }
+                shard.compacting.store(false, Ordering::Release);
+            }),
+        );
+    }
+
+    /// One shard compaction: build the survivor generation under a read
+    /// lock (searches proceed, and so do writes to other shards), then
+    /// install it under the append gate plus a brief write lock. If a write
+    /// landed on this shard while the rebuild ran, the plan is discarded —
+    /// the next trigger retries against the newer state.
+    fn compact_shard(shard: &Shard, gate: &Mutex<u64>) -> io::Result<bool> {
+        let plan = {
+            let index = shard.index.read();
+            if index.tombstone_density() == 0.0 {
+                return Ok(false);
+            }
+            index.prepare_compaction()?
+        };
+        // Gate before write lock (the engine's universal lock order). With
+        // the gate held no new WAL record can be logged, so the epoch check
+        // inside apply_compaction is race-free.
+        let _gate = gate.lock();
+        shard.index.write().apply_compaction(plan)
+    }
+
+    /// Compacts every shard that has tombstones, synchronously, returning
+    /// how many shards were rebuilt. The forced path for tests, benches,
+    /// and engines running without a background threshold.
+    pub fn compact_now(&self) -> io::Result<usize> {
+        let mut rebuilt = 0;
+        for shard in &self.set.shards {
+            if Self::compact_shard(shard, &self.append_gate)? {
+                rebuilt += 1;
+            }
+        }
+        Ok(rebuilt)
+    }
+
+    /// Whether any background shard compaction is currently in flight.
+    pub fn compacting(&self) -> bool {
+        self.set
+            .shards
+            .iter()
+            .any(|s| s.compacting.load(Ordering::Acquire))
+    }
+
+    /// Snapshots every shard: WAL-committed writes become part of the data
+    /// files and each shard's log is emptied (see `HdIndex::save`).
+    pub fn save(&self) -> io::Result<()> {
+        // The gate keeps writes out while shards snapshot one by one.
+        let _gate = self.append_gate.lock();
+        for shard in &self.set.shards {
+            shard.index.write().save()?;
+        }
+        Ok(())
     }
 
     /// Total objects across all shards (including tombstoned ones).
@@ -376,12 +521,28 @@ impl AnnIndex for Engine {
         let m = params.num_references;
         let eta = dim.div_ceil(params.tau);
         let entry = eta * params.hilbert_order as usize / 8 + 8 + 4 * m + 48;
+        let mut stored = 0u64;
+        let mut live = 0u64;
+        let mut write = WriteStats::default();
+        for shard in &self.set.shards {
+            let index = shard.index.read();
+            stored += index.len();
+            live += index.live_len() as u64;
+            let w = index.write_stats();
+            write.wal_records += w.wal_records;
+            write.wal_commits += w.wal_commits;
+            write.wal_replayed += w.wal_replayed;
+            write.compactions += w.compactions;
+        }
         IndexStats {
             disk_bytes: self.disk_bytes(),
             memory_bytes: self.memory_bytes(),
             build_memory_bytes: n * (entry + 4 * m),
             io: self.serving_stats().io,
             metric: self.metric(),
+            stored_len: stored,
+            live_len: live,
+            write,
         }
     }
 
@@ -401,5 +562,13 @@ impl Lifecycle for Engine {
 
     fn delete(&mut self, id: u64) -> io::Result<()> {
         Engine::delete(self, id)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Engine::save(self)
+    }
+
+    fn compact(&mut self) -> io::Result<bool> {
+        Engine::compact_now(self).map(|rebuilt| rebuilt > 0)
     }
 }

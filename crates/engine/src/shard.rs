@@ -20,6 +20,8 @@ use hd_storage::{CacheBudget, IoSnapshot};
 use parking_lot::RwLock;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 const META_FILE: &str = "engine.meta";
 const MAGIC: &str = "hd-engine v1";
@@ -41,12 +43,25 @@ pub fn global_of(shard: usize, local: u64, shards: u64) -> u64 {
 /// and exclusively with structural updates (`write`).
 pub(crate) struct Shard {
     pub index: RwLock<HdIndex>,
+    /// Set while a background compaction of this shard is in flight, so at
+    /// most one rebuild per shard runs at a time.
+    pub compacting: AtomicBool,
+}
+
+impl Shard {
+    pub fn new(index: HdIndex) -> Self {
+        Self {
+            index: RwLock::new(index),
+            compacting: AtomicBool::new(false),
+        }
+    }
 }
 
 /// The shard fleet plus what they share: the reference set and the cache
-/// budget.
+/// budget. Shards sit behind `Arc` so background compaction jobs on the
+/// worker pool can hold one past the submitting call's lifetime.
 pub(crate) struct ShardSet {
-    pub shards: Vec<Shard>,
+    pub shards: Vec<Arc<Shard>>,
     pub refs: ReferenceSet,
     pub budget: Option<CacheBudget>,
 }
@@ -124,9 +139,9 @@ impl ShardSet {
 
         let mut shards = Vec::with_capacity(s);
         for slot in built {
-            shards.push(Shard {
-                index: RwLock::new(slot.expect("pool completed every build task")?),
-            });
+            shards.push(Arc::new(Shard::new(
+                slot.expect("pool completed every build task")?,
+            )));
         }
 
         let set = Self {
@@ -158,7 +173,7 @@ impl ShardSet {
             // some shards — refuse instead.
             let m0 = shards
                 .first()
-                .map(|s0: &Shard| s0.index.read().metric());
+                .map(|s0: &Arc<Shard>| s0.index.read().metric());
             if let Some(m0) = m0 {
                 if index.metric() != m0 {
                     return Err(io::Error::new(
@@ -171,9 +186,7 @@ impl ShardSet {
                     ));
                 }
             }
-            shards.push(Shard {
-                index: RwLock::new(index),
-            });
+            shards.push(Arc::new(Shard::new(index)));
         }
         // Every shard persisted the same shared reference set.
         let refs = shards[0].index.read().references().clone();
@@ -224,9 +237,12 @@ impl ShardSet {
         Ok(shards)
     }
 
-    /// Total objects across all shards.
+    /// Total object ids ever assigned across all shards. Uses the shards'
+    /// `next_id` watermarks, not their stored counts: compaction shrinks a
+    /// shard's heap but never reuses an id, and the round-robin arithmetic
+    /// is defined over assigned ids.
     pub fn len(&self) -> u64 {
-        self.shards.iter().map(|s| s.index.read().len()).sum()
+        self.shards.iter().map(|s| s.index.read().next_id()).sum()
     }
 
     /// Aggregated IO ledger over every shard's pools.

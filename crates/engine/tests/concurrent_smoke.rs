@@ -39,6 +39,7 @@ fn concurrent_batches_with_interleaved_writes() {
             query_cache_pages: 64,
             ..index_params()
         },
+        compaction_threshold: None,
     };
     let engine = Engine::build(&data, &params, &dir).unwrap();
     let qp = QueryParams::triangular(128, 64, k);

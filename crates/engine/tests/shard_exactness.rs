@@ -59,6 +59,7 @@ proptest! {
                 threads: 4,
                 cache_budget_pages: 0,
                 index: index_params(),
+            compaction_threshold: None,
             };
             let engine = Engine::build(&data, &params, dir.join(format!("s{shards}"))).unwrap();
             let answers = engine.search_batch(queries.iter(), &qp).unwrap();
@@ -100,6 +101,7 @@ fn cosine_engine_matches_exact_cosine_scan_when_saturated() {
             threads: 4,
             cache_budget_pages: 0,
             index: ip.clone(),
+            compaction_threshold: None,
         };
         let engine = Engine::build(&data, &params, dir.join(format!("s{shards}"))).unwrap();
         assert_eq!(engine.metric(), Metric::Cosine);
@@ -160,6 +162,7 @@ fn sharded_answers_survive_reopen() {
         threads: 4,
         cache_budget_pages: 0,
         index: index_params(),
+            compaction_threshold: None,
     };
     let qp = QueryParams::triangular(256, 64, 10);
     let expected = {
@@ -191,6 +194,7 @@ fn global_ids_round_trip_through_shards() {
             threads: 4,
             cache_budget_pages: 0,
             index: index_params(),
+            compaction_threshold: None,
         };
         let engine = Engine::build(&data, &params, dir.join(format!("s{shards}"))).unwrap();
         for probe in [0usize, 1, 137, 255, n - 1] {

@@ -6,16 +6,17 @@ use crate::filters::{keep_smallest, ptolemaic_lb, triangular_lb};
 use crate::rdb;
 use crate::reference::{self, ReferenceSet};
 use hd_btree::BTree;
-use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest};
+use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest, WriteStats};
 use hd_core::dataset::Dataset;
 use hd_core::metric::Metric;
 use hd_core::partition::Partitioning;
 use hd_core::topk::{Neighbor, TopK};
 use hd_hilbert::HilbertCurve;
-use hd_storage::{BufferPool, CacheBudget, IoSnapshot, Pager, VectorHeap};
+use hd_storage::{BufferPool, CacheBudget, IoSnapshot, Pager, VectorHeap, Wal, WalRecord, WAL_FILE};
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-query diagnostics mirroring the paper's cost model (§4.4.1).
@@ -106,6 +107,76 @@ pub struct BuildOpts {
     pub cache_budget: Option<CacheBudget>,
 }
 
+/// On-disk name of RDB-tree `g` at file `generation`. Generation 0 keeps
+/// the legacy names so pre-WAL index directories open unchanged; each
+/// compaction bumps the generation and writes a fresh set of files, and the
+/// meta rename is the atomic switch between generations.
+fn tree_file(dir: &Path, g: usize, generation: u64) -> PathBuf {
+    if generation == 0 {
+        dir.join(format!("tree_{g}.rdb"))
+    } else {
+        dir.join(format!("tree_{g}.g{generation}.rdb"))
+    }
+}
+
+/// On-disk name of the vector heap at file `generation` (see [`tree_file`]).
+fn heap_file(dir: &Path, generation: u64) -> PathBuf {
+    if generation == 0 {
+        dir.join("vectors.heap")
+    } else {
+        dir.join(format!("vectors.g{generation}.heap"))
+    }
+}
+
+/// Parses a data-file name back to its generation, `None` for files that are
+/// not generation-managed (meta, WAL, foreign files).
+fn file_generation(name: &str) -> Option<u64> {
+    if name == "vectors.heap" {
+        return Some(0);
+    }
+    if let Some(rest) = name.strip_prefix("vectors.g").and_then(|r| r.strip_suffix(".heap")) {
+        return rest.parse().ok();
+    }
+    if let Some(rest) = name.strip_prefix("tree_").and_then(|r| r.strip_suffix(".rdb")) {
+        return match rest.split_once(".g") {
+            None => rest.parse::<u64>().ok().map(|_| 0),
+            Some((g, k)) => {
+                g.parse::<u64>().ok()?;
+                k.parse().ok()
+            }
+        };
+    }
+    None
+}
+
+/// Deletes tree/heap files of any generation other than `current` — debris
+/// of a compaction that crashed before (new generation never committed) or
+/// after (old generation not yet unlinked) the meta rename.
+fn remove_stale_generations(dir: &Path, current: u64) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if file_generation(name).is_some_and(|g| g != current) {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// A fully built, fully synced next-generation file set, ready to swap in.
+/// Produced by [`HdIndex::prepare_compaction`] (concurrent with searches),
+/// installed by [`HdIndex::apply_compaction`].
+pub struct CompactionPlan {
+    generation: u64,
+    /// Write epoch the plan was prepared at; installable only while the
+    /// epoch is unchanged (no write applied since).
+    epoch: u64,
+    trees: Vec<BTree>,
+    heap: VectorHeap,
+    id_map: Option<Vec<u64>>,
+}
+
 /// The HD-Index: τ RDB-trees over Hilbert keys plus a vector heap file.
 pub struct HdIndex {
     params: HdIndexParams,
@@ -124,6 +195,35 @@ pub struct HdIndex {
     /// the [`hd_core::api::AnnIndex`] trait (which only carries `k` and
     /// generic budget knobs). Set with [`HdIndex::set_serve_params`].
     serve: QueryParams,
+    /// The write-ahead log: every insert/delete is logged (and, with
+    /// autocommit, fsynced) *before* the trees/heap are touched, so a crash
+    /// loses nothing that was committed.
+    wal: Wal,
+    /// Whether each logged write is fsynced immediately (the default).
+    /// Batching callers turn this off and call [`HdIndex::commit_wal`] per
+    /// batch to amortize the fsync.
+    autocommit: bool,
+    /// `heap slot → original object id`, strictly ascending; `None` means
+    /// identity. Becomes `Some` after a compaction drops tombstoned slots:
+    /// survivors keep their ids while their heap slots shift down.
+    id_map: Option<Vec<u64>>,
+    /// Next object id to assign; never reused, so it exceeds the stored
+    /// count once a compaction has dropped slots. Atomic so the engine can
+    /// reserve ids while logging under a shard *read* lock.
+    next_id: AtomicU64,
+    /// Bumped by every snapshot/compaction; WAL `Checkpoint` records carry
+    /// it so replay can skip what the snapshot captured.
+    snapshot_version: u64,
+    /// Current data-file generation (see [`tree_file`]).
+    generation: u64,
+    /// Bumped by every applied write; a compaction plan prepared at epoch E
+    /// is only installable while the epoch is still E.
+    write_epoch: u64,
+    /// Compactions applied since open.
+    compactions: u64,
+    /// Shared cache quota the pools charge; kept so compaction can rebuild
+    /// the next generation's pools under the same budget.
+    cache_budget: Option<CacheBudget>,
 }
 
 impl std::fmt::Debug for HdIndex {
@@ -252,7 +352,7 @@ impl HdIndex {
             }
             entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
 
-            let pager = Pager::create(dir.join(format!("tree_{g}.rdb")))?;
+            let pager = Pager::create(tree_file(&dir, g, 0))?;
             let pool = Arc::new(BufferPool::with_budget(
                 pager,
                 params.query_cache_pages,
@@ -266,16 +366,17 @@ impl HdIndex {
 
         // 4. Raw descriptors, fetched by pointer during refinement.
         let mut heap = VectorHeap::create_budgeted(
-            dir.join("vectors.heap"),
+            heap_file(&dir, 0),
             dim,
             params.query_cache_pages,
-            opts.cache_budget,
+            opts.cache_budget.clone(),
         )?;
         for j in 0..n {
             heap.append(data.get(j))?;
         }
 
-        let index = Self {
+        let wal = Wal::create(dir.join(WAL_FILE))?;
+        let mut index = Self {
             params: params.clone(),
             partitioning,
             curves,
@@ -287,8 +388,19 @@ impl HdIndex {
             metric,
             dir,
             serve: QueryParams::default(),
+            wal,
+            autocommit: true,
+            id_map: None,
+            next_id: AtomicU64::new(n as u64),
+            snapshot_version: 0,
+            generation: 0,
+            write_epoch: 0,
+            compactions: 0,
+            cache_budget: opts.cache_budget,
         };
-        index.persist_meta()?;
+        // The build ends as snapshot 1: data files synced, meta committed,
+        // WAL empty.
+        index.save()?;
         index.reset_io_stats();
         Ok(index)
     }
@@ -336,6 +448,10 @@ impl HdIndex {
     ) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         let meta = crate::meta::IndexMeta::read(&dir)?;
+        // Clear debris of a compaction that crashed before or after its
+        // meta-rename commit point — only the generation the meta names is
+        // live.
+        remove_stale_generations(&dir, meta.generation)?;
         let partitioning = Partitioning::from_groups(meta.dim, meta.groups.clone());
         let refs =
             ReferenceSet::from_parts(meta.ref_ids.clone(), meta.ref_vectors.clone(), meta.metric);
@@ -345,7 +461,7 @@ impl HdIndex {
         for g in 0..meta.tau {
             curves.push(HilbertCurve::new(partitioning.group(g).len(), meta.omega));
             let pager = hd_storage::Pager::open(
-                dir.join(format!("tree_{g}.rdb")),
+                tree_file(&dir, g, meta.generation),
                 hd_storage::DEFAULT_PAGE_SIZE,
             )?;
             let pool = Arc::new(BufferPool::with_budget(
@@ -356,11 +472,11 @@ impl HdIndex {
             trees.push(BTree::open(pool)?);
         }
         let heap = VectorHeap::open_budgeted(
-            dir.join("vectors.heap"),
+            heap_file(&dir, meta.generation),
             meta.dim,
             query_cache_pages,
             meta.n,
-            cache_budget,
+            cache_budget.clone(),
         )?;
 
         let params = HdIndexParams {
@@ -374,7 +490,11 @@ impl HdIndex {
             query_cache_pages,
             seed: 0,
         };
-        let index = Self {
+        // Opening the WAL truncates any torn tail back to the last intact
+        // record boundary; everything before it is committed history.
+        let wal = Wal::open(dir.join(WAL_FILE))?;
+        let records = wal.records()?;
+        let mut index = Self {
             params,
             partitioning,
             curves,
@@ -386,9 +506,67 @@ impl HdIndex {
             metric: meta.metric,
             dir,
             serve: QueryParams::default(),
+            wal,
+            autocommit: true,
+            id_map: meta.id_map,
+            next_id: AtomicU64::new(meta.next_id),
+            snapshot_version: meta.snapshot_version,
+            generation: meta.generation,
+            write_epoch: 0,
+            compactions: 0,
+            cache_budget,
         };
+        index.replay(&records)?;
         index.reset_io_stats();
         Ok(index)
+    }
+
+    /// Applies the WAL tail that the snapshot this directory was opened from
+    /// did not capture. Replay is idempotent: inserts are id-watermarked
+    /// (ids below [`Self::next_id`] are already present — the heap rewrites
+    /// their slot in place and the trees upsert), deletes re-tombstone, and
+    /// checkpoints past the meta's snapshot version (a snapshot that crashed
+    /// before its meta rename) are inert.
+    fn replay(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        // Skip to just past the last checkpoint the current snapshot
+        // captured; everything before it is already in the data files.
+        let mut start = 0;
+        for (i, r) in records.iter().enumerate() {
+            if let WalRecord::Checkpoint { snapshot_version } = r {
+                if *snapshot_version <= self.snapshot_version {
+                    start = i + 1;
+                }
+            }
+        }
+        let mut applied = 0u64;
+        for record in &records[start..] {
+            match record {
+                WalRecord::Insert { id, vector } => {
+                    let next = self.next_id.load(Ordering::Relaxed);
+                    if *id < next {
+                        continue; // captured by the snapshot already
+                    }
+                    if *id > next {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("WAL insert id {id} skips ahead of next id {next}"),
+                        ));
+                    }
+                    self.next_id.store(id + 1, Ordering::Relaxed);
+                    self.apply_insert(*id, vector)?;
+                    applied += 1;
+                }
+                WalRecord::Delete { id } => {
+                    if self.contains_id(*id) && !self.tombstones.contains(id) {
+                        self.apply_delete(*id)?;
+                        applied += 1;
+                    }
+                }
+                WalRecord::Checkpoint { .. } => {}
+            }
+        }
+        self.wal.note_replayed(applied);
+        Ok(())
     }
 
     fn persist_meta(&self) -> io::Result<()> {
@@ -408,6 +586,11 @@ impl HdIndex {
             ref_vectors: self.refs.vectors.clone(),
             tombstones,
             metric: self.metric,
+            snapshot_version: self.snapshot_version,
+            wal_pos: self.wal.position(),
+            next_id: self.next_id.load(Ordering::Relaxed),
+            generation: self.generation,
+            id_map: self.id_map.clone(),
         }
         .write(&self.dir)
     }
@@ -418,9 +601,34 @@ impl HdIndex {
 
     /// Objects that are stored and not tombstoned — the most candidates
     /// any query can actually touch.
-    fn live_len(&self) -> usize {
+    pub fn live_len(&self) -> usize {
         self.heap.len() as usize - self.tombstones.len()
     }
+
+    /// Fraction of stored slots that are tombstoned — the signal compaction
+    /// triggers on. 0 when nothing is stored.
+    pub fn tombstone_density(&self) -> f64 {
+        if self.heap.is_empty() {
+            0.0
+        } else {
+            self.tombstones.len() as f64 / self.heap.len() as f64
+        }
+    }
+
+    /// The next object id this index will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Whether object `id` is stored (tombstoned or not). Ids at or past
+    /// [`Self::next_id`] and ids whose slot a compaction dropped are absent.
+    pub fn contains_id(&self, id: u64) -> bool {
+        match &self.id_map {
+            None => id < self.heap.len(),
+            Some(map) => map.binary_search(&id).is_ok(),
+        }
+    }
+
 
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -546,10 +754,12 @@ impl HdIndex {
 
         let mut ids: Vec<u64> = Vec::with_capacity(qp.alpha);
         let mut dists_flat: Vec<f32> = Vec::with_capacity(qp.alpha * m);
-        let tombstones = &self.tombstones;
         let take = |cursor: &hd_btree::Cursor, ids: &mut Vec<u64>, dists: &mut Vec<f32>| {
             let id = rdb::decode_id(cursor.key());
-            if tombstones.contains(&id) {
+            // Skip tombstones and orphans (tree entries whose object a
+            // crash un-assigned or a compaction dropped) so neither
+            // consumes an α slot.
+            if self.tombstones.contains(&id) || !self.contains_id(id) {
                 return;
             }
             ids.push(id);
@@ -620,24 +830,40 @@ impl HdIndex {
         candidate_ids.sort_unstable();
         candidate_ids.dedup();
         let kappa = candidate_ids.len();
-        // Normally a no-op: tree_candidates already drops tombstoned ids.
-        // Kept as the last line of defense so refine never resurrects a
-        // delete (e.g. candidates supplied by a future external caller).
-        if !self.tombstones.is_empty() {
-            candidate_ids.retain(|id| !self.tombstones.contains(id));
-        }
+        // Normally a no-op: tree_candidates already drops tombstoned and
+        // absent ids. Kept as the last line of defense so refine never
+        // resurrects a delete or reads past the heap (e.g. candidates
+        // supplied by a future external caller).
+        candidate_ids.retain(|&id| !self.tombstones.contains(&id) && self.contains_id(id));
+        // The heap is addressed by slot. Until the first compaction slots
+        // and ids coincide; afterwards the strictly ascending id map keeps
+        // the translation monotone, so sorted ids stay sorted slots (the
+        // blocked scorer's page-order walk and TopK's id tie-breaking are
+        // unaffected by translating back afterwards).
+        let slots: std::borrow::Cow<[u64]> = match &self.id_map {
+            None => std::borrow::Cow::Borrowed(&candidate_ids),
+            Some(map) => std::borrow::Cow::Owned(
+                candidate_ids
+                    .iter()
+                    .filter_map(|id| map.binary_search(id).ok().map(|s| s as u64))
+                    .collect(),
+            ),
+        };
         let mut tk = TopK::new(k);
         let mut arena: Vec<f32> = Vec::new();
         let (evals, abandoned) = score_candidates_blocked(
             &self.heap,
             self.metric,
             query,
-            &candidate_ids,
+            &slots,
             &mut tk,
             &mut arena,
         )?;
         let mut answer = tk.into_sorted();
         for nb in &mut answer {
+            if let Some(map) = &self.id_map {
+                nb.id = map[nb.id as usize];
+            }
             nb.dist = self.metric.finalize(nb.dist);
         }
         Ok((
@@ -709,14 +935,59 @@ impl HdIndex {
         self.refine(query, candidate_ids, qp.k).map(|(answer, _)| answer)
     }
 
-    /// Inserts a new object (§3.6): append the descriptor, compute its
-    /// reference distances and Hilbert keys, insert into every RDB-tree.
-    /// The reference set is deliberately not re-selected.
+    /// Inserts a new object (§3.6): log to the WAL (fsynced unless
+    /// [`Self::set_autocommit`] turned batching on), then append the
+    /// descriptor, compute its reference distances and Hilbert keys, and
+    /// insert into every RDB-tree. The reference set is deliberately not
+    /// re-selected.
     pub fn insert(&mut self, vector: &[f32]) -> io::Result<u64> {
+        let id = self.log_insert(vector)?;
+        self.apply_insert(id, vector)?;
+        Ok(id)
+    }
+
+    /// The durability half of [`Self::insert`]: reserves the id and logs
+    /// the record, fsyncing when autocommit is on. Takes `&self` so the
+    /// serving engine can log under a shard *read* lock — the fsync never
+    /// blocks searches — and apply under the write lock afterwards. Callers
+    /// splitting the halves must apply in id order (the engine's append
+    /// gate guarantees it).
+    pub fn log_insert(&self, vector: &[f32]) -> io::Result<u64> {
         assert_eq!(vector.len(), self.dim, "dimensionality mismatch");
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.wal.append(&WalRecord::Insert { id, vector: vector.to_vec() })?;
+        if self.autocommit {
+            self.wal.commit()?;
+        }
+        Ok(id)
+    }
+
+    /// The structure half of [`Self::insert`], also the replay path:
+    /// normalizes (the WAL stores the caller's raw vector), appends the
+    /// heap slot, and upserts into every tree.
+    pub fn apply_insert(&mut self, id: u64, vector: &[f32]) -> io::Result<()> {
+        assert_eq!(vector.len(), self.dim, "dimensionality mismatch");
+        let expected_slot = match &self.id_map {
+            None => id,
+            Some(map) => map.len() as u64,
+        };
+        if self.heap.len() != expected_slot {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "insert of id {id} expects heap slot {expected_slot} but the heap holds \
+                     {} slots — a previous apply failed midway; reopen the index to recover \
+                     from the WAL",
+                    self.heap.len()
+                ),
+            ));
+        }
         let mut vbuf = Vec::new();
         let vector = self.metric.normalized_query(vector, &mut vbuf);
-        let id = self.heap.append(vector)?;
+        self.heap.append(vector)?;
+        if let Some(map) = &mut self.id_map {
+            map.push(id); // id == next_id - 1 > every mapped id: stays sorted
+        }
         let mut dists = Vec::with_capacity(self.refs.m());
         self.refs.distances_to(vector, &mut dists);
         let value = rdb::encode_value(&dists);
@@ -726,18 +997,248 @@ impl HdIndex {
             self.partitioning.project_into(vector, g, &mut sub);
             let hk = self.curves[g].encode_floats(&sub, lo, hi);
             let key = rdb::encode_key(&hk, id);
-            self.trees[g].insert(&key, &value)?;
+            // Upsert: replaying over a partially applied crash state meets
+            // the same key again and must not grow a duplicate entry.
+            self.trees[g].upsert(&key, &value)?;
         }
         self.tombstones.remove(&id);
-        self.persist_meta()?;
-        Ok(id)
+        self.write_epoch += 1;
+        Ok(())
     }
 
-    /// Deletes an object (§3.6): tombstoned, never returned again. The
-    /// tombstone is persisted with the index metadata.
+    /// Deletes an object (§3.6): logged, then tombstoned — never returned
+    /// again. Space is reclaimed by [`Self::compact`].
     pub fn delete(&mut self, id: u64) -> io::Result<()> {
+        if !self.contains_id(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("delete of unknown object id {id}"),
+            ));
+        }
+        self.log_delete(id)?;
+        self.apply_delete(id)
+    }
+
+    /// The durability half of [`Self::delete`] (see [`Self::log_insert`]
+    /// for the split's locking rationale).
+    pub fn log_delete(&self, id: u64) -> io::Result<()> {
+        self.wal.append(&WalRecord::Delete { id })?;
+        if self.autocommit {
+            self.wal.commit()?;
+        }
+        Ok(())
+    }
+
+    /// The structure half of [`Self::delete`], also the replay path.
+    pub fn apply_delete(&mut self, id: u64) -> io::Result<()> {
         self.tombstones.insert(id);
-        self.persist_meta()
+        self.write_epoch += 1;
+        Ok(())
+    }
+
+    /// Whether each write is fsynced individually (the default).
+    pub fn autocommit(&self) -> bool {
+        self.autocommit
+    }
+
+    /// Turns per-write fsync on or off. With autocommit off, writes buffer
+    /// in the WAL and become durable at the next [`Self::commit_wal`] /
+    /// [`Self::save`] — batching callers use this to amortize the fsync
+    /// over many records.
+    pub fn set_autocommit(&mut self, on: bool) {
+        self.autocommit = on;
+    }
+
+    /// Flushes and fsyncs all buffered WAL records — the batch commit point
+    /// when autocommit is off. Returns the committed byte position.
+    pub fn commit_wal(&self) -> io::Result<u64> {
+        self.wal.commit()
+    }
+
+    /// Write-path counters (WAL traffic, recovery, compactions) surfaced
+    /// through [`IndexStats`].
+    pub fn write_stats(&self) -> WriteStats {
+        let c = self.wal.counters();
+        WriteStats {
+            wal_records: c.records_appended,
+            wal_commits: c.commits,
+            wal_replayed: c.records_replayed,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Takes an atomic snapshot: commits the WAL, fsyncs the data files,
+    /// logs a checkpoint, renames the new meta into place (the commit
+    /// point) and empties the log. A crash at any step leaves either the
+    /// old snapshot plus a replayable log or the new snapshot — never a
+    /// state that loses a committed write.
+    pub fn save(&mut self) -> io::Result<()> {
+        self.wal.commit()?;
+        for t in &self.trees {
+            t.pool().sync()?;
+        }
+        self.heap.pool().sync()?;
+        self.snapshot_version += 1;
+        self.wal.append(&WalRecord::Checkpoint {
+            snapshot_version: self.snapshot_version,
+        })?;
+        self.wal.commit()?;
+        // Before this rename recovery replays the full log onto the old
+        // snapshot; after it the checkpoint tells replay everything earlier
+        // is already captured.
+        self.persist_meta()?;
+        self.wal.reset()
+    }
+
+    /// Rebuilds the index over the survivors whenever tombstones exist,
+    /// reclaiming their space, and snapshots. Returns whether a compaction
+    /// ran. The serving engine instead splits this into
+    /// [`Self::prepare_compaction`] (concurrent with searches) and
+    /// [`Self::apply_compaction`] (brief, under its write lock).
+    pub fn compact(&mut self) -> io::Result<bool> {
+        if self.tombstones.is_empty() {
+            return Ok(false);
+        }
+        let plan = self.prepare_compaction()?;
+        self.apply_compaction(plan)
+    }
+
+    /// Builds the next file generation over the surviving (non-tombstoned)
+    /// objects: fresh bulk-loaded RDB-trees and a dense heap, fully synced
+    /// to disk, ids preserved via the slot→id map. Read-only on the current
+    /// state, so searches (and WAL appends) proceed while it runs; nothing
+    /// becomes visible until [`Self::apply_compaction`].
+    pub fn prepare_compaction(&self) -> io::Result<CompactionPlan> {
+        let next_gen = self.generation + 1;
+        // Survivor slots ascend, and so do their ids (the map is monotone).
+        let mut survivor_slots: Vec<u64> = Vec::with_capacity(self.live_len());
+        let mut survivor_ids: Vec<u64> = Vec::with_capacity(self.live_len());
+        for slot in 0..self.heap.len() {
+            let id = match &self.id_map {
+                None => slot,
+                Some(map) => map[slot as usize],
+            };
+            if !self.tombstones.contains(&id) {
+                survivor_slots.push(slot);
+                survivor_ids.push(id);
+            }
+        }
+
+        // Fetch survivors page-blocked, like refinement does.
+        let dim = self.dim;
+        let n = survivor_slots.len();
+        let mut vectors: Vec<f32> = Vec::with_capacity(n * dim);
+        let mut arena: Vec<f32> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let page = self.heap.page_of(survivor_slots[i]);
+            let mut j = i + 1;
+            while j < n && self.heap.page_of(survivor_slots[j]) == page {
+                j += 1;
+            }
+            self.heap.get_block_into(&survivor_slots[i..j], &mut arena)?;
+            vectors.extend_from_slice(&arena[..(j - i) * dim]);
+            i = j;
+        }
+
+        // Reference distances for the leaf payloads. Vectors are already in
+        // index form (normalized at original ingest), so distances_to is
+        // exactly what the original build computed.
+        let m = self.refs.m();
+        let mut ref_dists = vec![0.0f32; n * m];
+        let mut row = Vec::with_capacity(m);
+        for j in 0..n {
+            self.refs.distances_to(&vectors[j * dim..(j + 1) * dim], &mut row);
+            ref_dists[j * m..(j + 1) * m].copy_from_slice(&row);
+        }
+
+        // Bulk-load the next generation's trees and heap, synced before the
+        // plan is handed over — apply only commits metadata.
+        let (lo, hi) = self.params.domain;
+        let mut trees = Vec::with_capacity(self.trees.len());
+        let mut sub = Vec::new();
+        for g in 0..self.trees.len() {
+            let key_len = rdb::key_len(self.curves[g].key_len());
+            let val_len = rdb::val_len(m);
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(n);
+            for j in 0..n {
+                self.partitioning
+                    .project_into(&vectors[j * dim..(j + 1) * dim], g, &mut sub);
+                let hk = self.curves[g].encode_floats(&sub, lo, hi);
+                entries.push((
+                    rdb::encode_key(&hk, survivor_ids[j]),
+                    rdb::encode_value(&ref_dists[j * m..(j + 1) * m]),
+                ));
+            }
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let pager = Pager::create(tree_file(&self.dir, g, next_gen))?;
+            let pool = Arc::new(BufferPool::with_budget(
+                pager,
+                self.params.query_cache_pages,
+                self.cache_budget.clone(),
+            ));
+            let mut tree = BTree::create(pool, key_len, val_len)?;
+            tree.bulk_load(entries, 1.0)?;
+            tree.pool().sync()?;
+            trees.push(tree);
+        }
+        let mut heap = VectorHeap::create_budgeted(
+            heap_file(&self.dir, next_gen),
+            dim,
+            self.params.query_cache_pages,
+            self.cache_budget.clone(),
+        )?;
+        for j in 0..n {
+            heap.append(&vectors[j * dim..(j + 1) * dim])?;
+        }
+        heap.pool().sync()?;
+
+        // When nothing before next_id was ever dropped the map is identity;
+        // normalize it back to None so the fast path stays fast.
+        let identity = self.next_id.load(Ordering::Relaxed) == n as u64
+            && survivor_ids.iter().enumerate().all(|(s, &id)| s as u64 == id);
+        let id_map = if identity { None } else { Some(survivor_ids) };
+
+        Ok(CompactionPlan {
+            generation: next_gen,
+            epoch: self.write_epoch,
+            trees,
+            heap,
+            id_map,
+        })
+    }
+
+    /// Installs a [`CompactionPlan`]: swaps the file generation in, clears
+    /// tombstones, and commits via checkpoint + meta rename. Returns
+    /// `Ok(false)` — plan discarded, files deleted — if any write was
+    /// applied since the plan was prepared (its rebuild would lose it).
+    pub fn apply_compaction(&mut self, plan: CompactionPlan) -> io::Result<bool> {
+        if plan.epoch != self.write_epoch {
+            drop(plan);
+            remove_stale_generations(&self.dir, self.generation)?;
+            return Ok(false);
+        }
+        self.trees = plan.trees;
+        self.heap = plan.heap;
+        self.id_map = plan.id_map;
+        self.tombstones.clear();
+        self.generation = plan.generation;
+        self.compactions += 1;
+        self.write_epoch += 1;
+
+        // Same commit protocol as save(): the meta rename atomically
+        // switches generations; crash before it leaves the old generation
+        // plus the full WAL, crash after leaves stale files that the next
+        // open sweeps.
+        self.snapshot_version += 1;
+        self.wal.append(&WalRecord::Checkpoint {
+            snapshot_version: self.snapshot_version,
+        })?;
+        self.wal.commit()?;
+        self.persist_meta()?;
+        self.wal.reset()?;
+        remove_stale_generations(&self.dir, self.generation)?;
+        Ok(true)
     }
 
     /// Whether an object is deleted.
@@ -846,6 +1347,9 @@ impl AnnIndex for HdIndex {
             build_memory_bytes: n * (entry + 4 * m),
             io: self.io_stats(),
             metric: self.metric,
+            stored_len: self.heap.len(),
+            live_len: self.live_len() as u64,
+            write: self.write_stats(),
         }
     }
 
@@ -865,6 +1369,14 @@ impl Lifecycle for HdIndex {
 
     fn delete(&mut self, id: u64) -> io::Result<()> {
         HdIndex::delete(self, id)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        HdIndex::save(self)
+    }
+
+    fn compact(&mut self) -> io::Result<bool> {
+        HdIndex::compact(self)
     }
 }
 

@@ -15,6 +15,10 @@ pub const META_FILE: &str = "meta.txt";
 const MAGIC_V1: &str = "hdindex-meta v1";
 /// v2 metas carry an optional `metric` line (absent still means L2).
 const MAGIC_V2: &str = "hdindex-meta v2";
+/// v3 metas add the durable-write-path fields: `snapshot_version`,
+/// `wal_pos`, `next_id`, `generation`, and (after a compaction) `idmap`.
+/// Absent fields default to the pre-WAL state (version 0, identity ids).
+const MAGIC_V3: &str = "hdindex-meta v3";
 
 /// The persisted state of an [`crate::HdIndex`].
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +37,26 @@ pub struct IndexMeta {
     /// `metric` line and read back as [`Metric::L2`], which is what every
     /// pre-metric-layer index was.
     pub metric: Metric,
+    /// Monotone counter bumped by every snapshot/compaction; WAL
+    /// `Checkpoint` records carry it so replay can skip what the snapshot
+    /// already captured. v1/v2 metas read back as 0.
+    pub snapshot_version: u64,
+    /// Byte offset of the WAL's committed end when this snapshot was taken
+    /// (diagnostic; replay trusts checkpoint records and the id watermark).
+    pub wal_pos: u64,
+    /// The next object id to assign. Ids are never reused, so after a
+    /// compaction this exceeds `n`. v1/v2 metas read back as `n` (identity
+    /// id space).
+    pub next_id: u64,
+    /// Generation counter naming the tree/heap files: generation 0 uses the
+    /// legacy `tree_{g}.rdb` / `vectors.heap` names, generation k > 0 uses
+    /// `tree_{g}.g{k}.rdb` / `vectors.g{k}.heap`. Compaction builds the
+    /// next generation and this meta write is its atomic commit point.
+    pub generation: u64,
+    /// `heap slot → original object id`, strictly ascending; `None` means
+    /// identity (slot == id). Becomes `Some` after a compaction drops
+    /// tombstoned slots, so surviving objects keep their ids.
+    pub id_map: Option<Vec<u64>>,
 }
 
 fn f32_hex(v: f32) -> String {
@@ -56,7 +80,7 @@ impl IndexMeta {
         let tmp = dir.join(format!("{META_FILE}.tmp"));
         {
             let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
-            writeln!(f, "{MAGIC_V2}")?;
+            writeln!(f, "{MAGIC_V3}")?;
             writeln!(f, "metric {}", self.metric)?;
             writeln!(f, "dim {}", self.dim)?;
             writeln!(f, "n {}", self.n)?;
@@ -64,6 +88,14 @@ impl IndexMeta {
             writeln!(f, "omega {}", self.omega)?;
             writeln!(f, "m {}", self.m)?;
             writeln!(f, "domain {} {}", f32_hex(self.domain.0), f32_hex(self.domain.1))?;
+            writeln!(f, "snapshot_version {}", self.snapshot_version)?;
+            writeln!(f, "wal_pos {}", self.wal_pos)?;
+            writeln!(f, "next_id {}", self.next_id)?;
+            writeln!(f, "generation {}", self.generation)?;
+            if let Some(map) = &self.id_map {
+                let ids: Vec<String> = map.iter().map(|i| i.to_string()).collect();
+                writeln!(f, "idmap {}", ids.join(" "))?;
+            }
             for g in &self.groups {
                 let dims: Vec<String> = g.iter().map(|d| d.to_string()).collect();
                 writeln!(f, "group {}", dims.join(" "))?;
@@ -75,6 +107,10 @@ impl IndexMeta {
             let ts: Vec<String> = self.tombstones.iter().map(|t| t.to_string()).collect();
             writeln!(f, "tombstones {}", ts.join(" "))?;
             f.flush()?;
+            // The meta rename is the commit point of snapshots and
+            // compactions — the content must be on stable storage before
+            // the rename makes it visible.
+            f.get_ref().sync_all()?;
         }
         std::fs::rename(tmp, dir.join(META_FILE))
     }
@@ -86,7 +122,7 @@ impl IndexMeta {
         let first = lines.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidData, "empty metadata file")
         })??;
-        if first != MAGIC_V1 && first != MAGIC_V2 {
+        if first != MAGIC_V1 && first != MAGIC_V2 && first != MAGIC_V3 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("bad metadata magic: {first}"),
@@ -104,7 +140,13 @@ impl IndexMeta {
             ref_vectors: Vec::new(),
             tombstones: Vec::new(),
             metric: Metric::L2,
+            snapshot_version: 0,
+            wal_pos: 0,
+            next_id: 0,
+            generation: 0,
+            id_map: None,
         };
+        let mut saw_next_id = false;
         for line in lines {
             let line = line?;
             let mut it = line.split_whitespace();
@@ -142,6 +184,21 @@ impl IndexMeta {
                     let t: io::Result<Vec<u64>> = it.map(|s| parse(s, "tombstone")).collect();
                     meta.tombstones = t?;
                 }
+                Some("snapshot_version") => {
+                    meta.snapshot_version = parse(it.next().unwrap_or(""), "snapshot_version")?;
+                }
+                Some("wal_pos") => meta.wal_pos = parse(it.next().unwrap_or(""), "wal_pos")?,
+                Some("next_id") => {
+                    meta.next_id = parse(it.next().unwrap_or(""), "next_id")?;
+                    saw_next_id = true;
+                }
+                Some("generation") => {
+                    meta.generation = parse(it.next().unwrap_or(""), "generation")?;
+                }
+                Some("idmap") => {
+                    let ids: io::Result<Vec<u64>> = it.map(|s| parse(s, "idmap entry")).collect();
+                    meta.id_map = Some(ids?);
+                }
                 Some(other) => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -156,6 +213,11 @@ impl IndexMeta {
                 io::ErrorKind::InvalidData,
                 "incomplete metadata",
             ));
+        }
+        // Pre-WAL metas (and v3 files missing the line) lived in an identity
+        // id space: n rows, ids 0..n.
+        if !saw_next_id {
+            meta.next_id = meta.n;
         }
         Ok(meta)
     }
@@ -178,6 +240,11 @@ mod tests {
             ref_vectors: vec![vec![0.1, -0.2, 3.5e8, 0.0], vec![1.0, 2.0, 3.0, 4.0]],
             tombstones: vec![5, 99],
             metric: Metric::L2,
+            snapshot_version: 3,
+            wal_pos: 4096,
+            next_id: 120,
+            generation: 1,
+            id_map: None,
         }
     }
 
@@ -235,15 +302,66 @@ mod tests {
         meta.write(&dir).unwrap();
         let written = std::fs::read_to_string(dir.join(META_FILE)).unwrap();
         let v1 = written
-            .replace("hdindex-meta v2", "hdindex-meta v1")
+            .replace("hdindex-meta v3", "hdindex-meta v1")
             .lines()
-            .filter(|l| !l.starts_with("metric "))
+            .filter(|l| {
+                !l.starts_with("metric ")
+                    && !l.starts_with("snapshot_version ")
+                    && !l.starts_with("wal_pos ")
+                    && !l.starts_with("next_id ")
+                    && !l.starts_with("generation ")
+            })
             .collect::<Vec<_>>()
             .join("\n");
         std::fs::write(dir.join(META_FILE), v1).unwrap();
         let back = IndexMeta::read(&dir).unwrap();
         assert_eq!(back.metric, Metric::L2);
         assert_eq!(back.dim, meta.dim);
+        // Pre-WAL metas get the identity id space: next_id == n, gen 0.
+        assert_eq!(back.next_id, meta.n);
+        assert_eq!(back.snapshot_version, 0);
+        assert_eq!(back.generation, 0);
+        assert_eq!(back.id_map, None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v2_meta_defaults_durability_fields() {
+        // A metric-layer-era meta: v2 magic, metric line, no WAL fields.
+        let dir = std::env::temp_dir().join(format!("hd_meta_v2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = sample();
+        meta.write(&dir).unwrap();
+        let written = std::fs::read_to_string(dir.join(META_FILE)).unwrap();
+        let v2 = written
+            .replace("hdindex-meta v3", "hdindex-meta v2")
+            .lines()
+            .filter(|l| {
+                !l.starts_with("snapshot_version ")
+                    && !l.starts_with("wal_pos ")
+                    && !l.starts_with("next_id ")
+                    && !l.starts_with("generation ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(dir.join(META_FILE), v2).unwrap();
+        let back = IndexMeta::read(&dir).unwrap();
+        assert_eq!(back.next_id, meta.n);
+        assert_eq!(back.snapshot_version, 0);
+        assert_eq!(back.wal_pos, 0);
+        assert_eq!(back.generation, 0);
+        assert_eq!(back.id_map, None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn id_map_round_trips() {
+        let dir = std::env::temp_dir().join(format!("hd_meta_idmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut meta = sample();
+        meta.id_map = Some(vec![0, 2, 5, 117]);
+        meta.write(&dir).unwrap();
+        assert_eq!(IndexMeta::read(&dir).unwrap(), meta);
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -15,6 +15,8 @@
 //! * [`budget`] — a shared page-cache quota so a fleet of pools (τ trees ×
 //!   S shards) runs under one memory ceiling.
 //! * [`stats`] — logical/physical access counters shared across components.
+//! * [`wal`] — per-shard write-ahead log: checksummed records, fsync-on-
+//!   commit batching, torn-tail-tolerant replay (DESIGN.md §9).
 
 pub mod budget;
 pub mod buffer;
@@ -22,6 +24,7 @@ pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod stats;
+pub mod wal;
 
 pub use budget::CacheBudget;
 pub use buffer::BufferPool;
@@ -29,3 +32,4 @@ pub use heap::VectorHeap;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pager::Pager;
 pub use stats::{IoSnapshot, IoStats};
+pub use wal::{Wal, WalCounters, WalRecord, WAL_FILE};
