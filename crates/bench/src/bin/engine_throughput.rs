@@ -16,6 +16,7 @@ use std::time::Instant;
 
 fn main() {
     let cfg = BenchConfig::from_args();
+    hd_bench::telemetry_report::init(&cfg);
     let profile = DatasetProfile::SIFT;
     let n = cfg.n(20_000);
     let nq = cfg.nq(256).clamp(16, 512);
@@ -129,4 +130,5 @@ fn main() {
         );
     }
     std::fs::remove_dir_all(scratch).ok();
+    hd_bench::telemetry_report::report(&cfg);
 }

@@ -23,6 +23,7 @@ type WorkloadSpec = (&'static str, DatasetProfile, usize, usize, bool);
 
 fn main() {
     let cfg = BenchConfig::from_args();
+    hd_bench::telemetry_report::init(&cfg);
     let k = 100;
     let widths = [10usize, 12, 8, 10, 10, 10, 10, 10];
 
@@ -108,4 +109,5 @@ fn main() {
     }
     println!("\nPaper shape: OPQ/HNSW fastest with the largest query RAM; Multicurves the");
     println!("fattest index (NP on Enron); SRS the smallest; HD-Index balanced on all axes.");
+    hd_bench::telemetry_report::report(&cfg);
 }

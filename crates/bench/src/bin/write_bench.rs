@@ -35,6 +35,7 @@ fn json_path_from_args() -> Option<std::path::PathBuf> {
 
 fn main() {
     let cfg = BenchConfig::from_args();
+    hd_bench::telemetry_report::init(&cfg);
     let json_path = json_path_from_args();
     let profile = DatasetProfile::SIFT;
     let n = cfg.n(BASE_N);
@@ -179,4 +180,5 @@ fn main() {
     }
 
     std::fs::remove_dir_all(&scratch).ok();
+    hd_bench::telemetry_report::report(&cfg);
 }

@@ -7,8 +7,10 @@ use hd_core::metric::Metric;
 /// generators, `--methods a,b,c` restricts registry-driven binaries to the
 /// named methods, `--metric l2|l1|cosine|dot` selects the distance function
 /// on every workload-driven binary (methods — or filter variants — that
-/// cannot serve it render as NP rows with the reason). Unknown flags are
-/// ignored so binaries can add their own.
+/// cannot serve it render as NP rows with the reason), `--telemetry`
+/// enables the global telemetry layer and prints a per-stage breakdown plus
+/// the Prometheus exposition at exit. Unknown flags are ignored so binaries
+/// can add their own.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
     pub scale: f64,
@@ -18,6 +20,8 @@ pub struct BenchConfig {
     pub methods: Option<Vec<String>>,
     /// Distance function selected with `--metric` (default L2).
     pub metric: Metric,
+    /// Whether `--telemetry` was passed (spans + stage-breakdown report).
+    pub telemetry: bool,
 }
 
 impl Default for BenchConfig {
@@ -28,6 +32,7 @@ impl Default for BenchConfig {
             seed: 42,
             methods: None,
             metric: Metric::L2,
+            telemetry: false,
         }
     }
 }
@@ -85,6 +90,7 @@ impl BenchConfig {
                         i += 1;
                     }
                 }
+                "--telemetry" => cfg.telemetry = true,
                 _ => {}
             }
             i += 1;
@@ -153,5 +159,14 @@ mod tests {
     fn ignores_unknown_flags() {
         let cfg = BenchConfig::from_slice(&s(&["prog", "--wat", "--scale", "2"]));
         assert_eq!(cfg.scale, 2.0);
+    }
+
+    #[test]
+    fn parses_telemetry_flag() {
+        assert!(!BenchConfig::from_slice(&s(&["prog"])).telemetry);
+        // Takes no argument, so following flags still parse.
+        let cfg = BenchConfig::from_slice(&s(&["prog", "--telemetry", "--scale", "0.5"]));
+        assert!(cfg.telemetry);
+        assert_eq!(cfg.scale, 0.5);
     }
 }

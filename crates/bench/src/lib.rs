@@ -19,6 +19,7 @@ pub mod config;
 pub mod methods;
 pub mod sweep;
 pub mod table;
+pub mod telemetry_report;
 
 pub use config::BenchConfig;
 pub use methods::{MethodOutcome, MethodResult, MethodSpec, Workload};

@@ -153,6 +153,18 @@ pub struct SearchTrace {
     /// clamping of [`SearchRequest::refine`] (e.g. γ clamped into `[1, n]`).
     /// `0` when the method does not report it.
     pub effective_refine: usize,
+    /// Wall time computing query→reference distances (HD-Index stage 1).
+    /// `0` when the method does not report stage times.
+    pub ref_dist_nanos: u64,
+    /// Wall time in candidate generation (the per-tree walks + filters for
+    /// HD-Index; the structure probe for other methods).
+    pub candidate_nanos: u64,
+    /// Wall time in exact refinement.
+    pub refine_nanos: u64,
+    /// Wall time for the whole query as measured by the method itself. The
+    /// three stage times above sum to ≤ this; the remainder is
+    /// setup/merge/accounting outside the named stages.
+    pub total_nanos: u64,
 }
 
 /// The result of one [`AnnIndex::search`] call.

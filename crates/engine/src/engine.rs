@@ -149,17 +149,23 @@ impl Engine {
         }
 
         // Reference distances: once per query, not once per (query, shard).
-        let q_dists: Vec<Vec<f32>> = queries
-            .iter()
-            .map(|q| {
-                let mut d = Vec::with_capacity(self.set.refs.m());
-                self.set.refs.distances_to(q, &mut d);
-                d
-            })
-            .collect();
+        let q_dists: Vec<Vec<f32>> = {
+            let _s = hd_telemetry::span!("engine_ref_dists_nanos");
+            queries
+                .iter()
+                .map(|q| {
+                    let mut d = Vec::with_capacity(self.set.refs.m());
+                    self.set.refs.distances_to(q, &mut d);
+                    d
+                })
+                .collect()
+        };
 
         let mut slots: Vec<Option<io::Result<Vec<Neighbor>>>> =
             (0..queries.len() * s_count).map(|_| None).collect();
+        // Opened on the calling thread around the whole fan-out (the pool
+        // threads' own work lands in the shard_* histograms instead).
+        let fanout_span = hd_telemetry::span!("engine_fanout_nanos");
         self.pool
             .run_scoped(slots.iter_mut().enumerate().map(|(idx, slot)| {
                 let (qi, si) = (idx / s_count, idx % s_count);
@@ -181,7 +187,9 @@ impl Engine {
                 });
                 (si, task)
             }));
+        drop(fanout_span);
 
+        let merge_span = hd_telemetry::span!("engine_merge_nanos");
         let mut answers = Vec::with_capacity(queries.len());
         let mut slots = slots.into_iter();
         for _ in 0..queries.len() {
@@ -194,6 +202,7 @@ impl Engine {
             }
             answers.push(tk.into_sorted());
         }
+        drop(merge_span);
 
         self.metrics
             .record_batch(queries.len() as u64, t0.elapsed().as_nanos() as u64);
@@ -421,12 +430,14 @@ impl Engine {
         self.set.budget.as_ref()
     }
 
-    /// Resets the IO ledgers of every shard (the latency histogram and
-    /// query counters keep accumulating).
+    /// Resets the IO ledgers of every shard *and* the serving metrics
+    /// (latency histogram, query/batch counters, busy time), so a bench
+    /// phase that calls this measures from a clean slate on both axes.
     pub fn reset_io_stats(&self) {
         for shard in &self.set.shards {
             shard.index.read().reset_io_stats();
         }
+        self.metrics.reset();
     }
 
     /// Total on-disk footprint across shards.

@@ -14,8 +14,11 @@
 //!   per query; per-shard top-k lists exact-merge through bounded heaps.
 //! * Concurrent callers — searches take `&self`; inserts and deletes are
 //!   lock-guarded per shard and interleave with searches.
-//! * [`metrics`] — QPS, a log-linear latency [`histogram`] with
-//!   p50/p95/p99, and the aggregated IO ledger of every shard's pools.
+//! * [`metrics`] — QPS, a log-linear latency histogram with p50/p95/p99
+//!   (the histogram itself now lives in [`hd_telemetry`] and is re-exported
+//!   here for compatibility), and the aggregated IO ledger of every shard's
+//!   pools. Stage timings flow into the global `hd_telemetry` registry when
+//!   telemetry is enabled.
 //!
 //! ```no_run
 //! use hd_core::dataset::{generate, DatasetProfile};
@@ -36,12 +39,14 @@
 
 pub mod config;
 pub mod engine;
-pub mod histogram;
 pub mod metrics;
 pub mod shard;
 
 pub use config::EngineParams;
 pub use engine::Engine;
-pub use histogram::LatencyHistogram;
+// Compatibility re-export: the histogram grew into the workspace-wide
+// telemetry crate in PR 7; existing `hd_engine::LatencyHistogram` users
+// keep compiling unchanged.
+pub use hd_telemetry::LatencyHistogram;
 pub use metrics::{EngineMetrics, EngineStats};
 pub use shard::{global_of, shard_of};

@@ -1,9 +1,10 @@
 //! Engine-level serving metrics: throughput, latency percentiles, and the
 //! aggregated IO ledger of every shard's buffer pools.
 
-use crate::histogram::LatencyHistogram;
 use hd_storage::IoSnapshot;
+use hd_telemetry::LatencyHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Live counters owned by an [`crate::Engine`].
 #[derive(Debug, Default)]
@@ -32,6 +33,37 @@ impl EngineMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos.fetch_add(elapsed_nanos, Ordering::Relaxed);
         self.latency.record_n(elapsed_nanos, queries);
+        if hd_telemetry::enabled() {
+            // Mirror into the process-global registry so `/metrics`-style
+            // exposition sees engine traffic even across multiple engines.
+            struct Global {
+                queries: hd_telemetry::Counter,
+                batches: hd_telemetry::Counter,
+                batch_nanos: std::sync::Arc<LatencyHistogram>,
+            }
+            static GLOBAL: OnceLock<Global> = OnceLock::new();
+            let g = GLOBAL.get_or_init(|| {
+                let reg = hd_telemetry::global();
+                Global {
+                    queries: reg.counter("engine_queries_total", "queries answered by engines"),
+                    batches: reg.counter("engine_batches_total", "batches submitted to engines"),
+                    batch_nanos: reg.histogram("engine_batch_nanos", "engine batch latency"),
+                }
+            });
+            g.queries.add(queries);
+            g.batches.inc();
+            g.batch_nanos.record(elapsed_nanos);
+        }
+    }
+
+    /// Zeroes the query/batch/busy counters and the latency histogram —
+    /// the serving-side counterpart of the shards' IO-ledger reset, so a
+    /// bench phase can measure from a clean slate.
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+        self.latency.reset();
     }
 
     /// The latency histogram (shared with callers that want more quantiles
@@ -111,6 +143,26 @@ mod tests {
         assert_eq!(s.p99_ms, 0.0);
         assert_eq!(s.qps, 0.0);
         assert_eq!(s.busy_secs, 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_histogram() {
+        let m = EngineMetrics::new();
+        m.record_batch(8, 2_000_000);
+        m.record_batch(2, 50_000_000);
+        m.reset();
+        let s = m.snapshot(IoSnapshot::default());
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.batches, 0);
+        assert_eq!(s.busy_secs, 0.0);
+        assert_eq!(s.qps, 0.0);
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.p99_ms, 0.0);
+        // Recording after a reset starts a fresh epoch.
+        m.record_batch(4, 1_000_000);
+        let s = m.snapshot(IoSnapshot::default());
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.batches, 1);
     }
 
     #[test]

@@ -114,6 +114,46 @@ fn concurrent_batches_with_interleaved_writes() {
 }
 
 #[test]
+fn reset_io_stats_clears_serving_metrics_too() {
+    // Regression: reset_io_stats used to clear only the shard IO ledgers,
+    // leaving the latency histogram and query counters accumulating across
+    // bench phases — a second phase's QPS/p99 silently averaged in the
+    // first phase's samples.
+    let (data, queries) = generate(&DatasetProfile::SIFT, 300, 4, 44);
+    let dir = std::env::temp_dir().join(format!("hd_engine_reset_{}", std::process::id()));
+    let engine = Engine::build(
+        &data,
+        &EngineParams {
+            shards: 2,
+            threads: 2,
+            ..EngineParams::new(index_params())
+        },
+        &dir,
+    )
+    .unwrap();
+    let qp = QueryParams::triangular(64, 32, 5);
+    engine.search_batch(queries.iter(), &qp).unwrap();
+    let before = engine.serving_stats();
+    assert_eq!(before.queries, 4);
+    assert!(before.p50_ms > 0.0);
+
+    engine.reset_io_stats();
+    let after = engine.serving_stats();
+    assert_eq!(after.queries, 0, "query counter must reset");
+    assert_eq!(after.batches, 0, "batch counter must reset");
+    assert_eq!(after.busy_secs, 0.0, "busy time must reset");
+    assert_eq!(after.p50_ms, 0.0, "latency histogram must reset");
+    assert_eq!(after.io.logical_reads, 0, "IO ledger must reset");
+
+    // A fresh phase counts from zero.
+    engine.search_batch(queries.iter(), &qp).unwrap();
+    let fresh = engine.serving_stats();
+    assert_eq!(fresh.queries, 4);
+    assert_eq!(fresh.batches, 1);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn batch_of_zero_and_one_are_well_formed() {
     let (data, queries) = generate(&DatasetProfile::SIFT, 300, 2, 33);
     let dir = std::env::temp_dir().join(format!("hd_engine_edge_{}", std::process::id()));

@@ -18,6 +18,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-query diagnostics mirroring the paper's cost model (§4.4.1).
 ///
@@ -38,6 +39,39 @@ struct RefineStats {
     evals: usize,
     /// Evaluations abandoned early by the bounded kernel.
     abandoned: usize,
+}
+
+/// Cached global-registry handles for the traced query pipeline — resolved
+/// once, then pure histogram records per query. Only touched while
+/// telemetry is enabled; the stage times themselves always land in the
+/// [`QueryTrace`] (a handful of clock reads per query).
+struct QueryTelemetry {
+    total: Arc<hd_telemetry::LatencyHistogram>,
+    ref_dists: Arc<hd_telemetry::LatencyHistogram>,
+    candidates: Arc<hd_telemetry::LatencyHistogram>,
+    refine: Arc<hd_telemetry::LatencyHistogram>,
+}
+
+fn query_telemetry() -> &'static QueryTelemetry {
+    static HANDLES: std::sync::OnceLock<QueryTelemetry> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = hd_telemetry::global();
+        QueryTelemetry {
+            total: reg.histogram("hd_query_nanos", "end-to-end traced HD-Index query latency"),
+            ref_dists: reg.histogram(
+                "hd_query_ref_dists_nanos",
+                "stage 1: query-to-reference distances",
+            ),
+            candidates: reg.histogram(
+                "hd_query_candidates_nanos",
+                "stage 2: per-tree candidate walks + lower-bound filters",
+            ),
+            refine: reg.histogram(
+                "hd_query_refine_nanos",
+                "stage 3: blocked early-abandoning exact refinement",
+            ),
+        }
+    })
 }
 
 /// The blocked, early-abandoning scoring loop of the refinement pipeline —
@@ -678,15 +712,19 @@ impl HdIndex {
     pub fn knn_traced(&self, query: &[f32], qp: &QueryParams) -> io::Result<(Vec<Neighbor>, QueryTrace)> {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         qp.validate(self.metric);
+        let t_query = Instant::now();
         let mut qbuf = Vec::new();
         let query = self.metric.normalized_query(query, &mut qbuf);
         let before = self.io_stats();
 
         // Distances from the query to all references (kept in memory; §4.4.1
         // argues the reference set always fits).
+        let t_stage = Instant::now();
         let mut q_dists = Vec::with_capacity(self.refs.m());
         self.refs.distances_to(query, &mut q_dists);
+        let ref_dist_nanos = t_stage.elapsed().as_nanos() as u64;
 
+        let t_stage = Instant::now();
         let mut candidate_ids: Vec<u64> = Vec::with_capacity(qp.gamma * self.trees.len());
         let mut scanned_total = 0usize;
         for g in 0..self.trees.len() {
@@ -694,10 +732,23 @@ impl HdIndex {
             scanned_total += scanned;
             candidate_ids.extend(survivors);
         }
+        let candidate_nanos = t_stage.elapsed().as_nanos() as u64;
 
         // Union across trees: C, κ = |C|.
+        let t_stage = Instant::now();
         let (answer, stats) = self.refine(query, candidate_ids, qp.k)?;
+        let refine_nanos = t_stage.elapsed().as_nanos() as u64;
         let delta = self.io_stats().since(&before);
+        let total_nanos = t_query.elapsed().as_nanos() as u64;
+
+        if hd_telemetry::enabled() {
+            let t = query_telemetry();
+            t.total.record(total_nanos);
+            t.ref_dists.record(ref_dist_nanos);
+            t.candidates.record(candidate_nanos);
+            t.refine.record(refine_nanos);
+        }
+
         Ok((
             answer,
             QueryTrace {
@@ -715,6 +766,10 @@ impl HdIndex {
                 // candidates than undeleted objects, however large α is.
                 effective_candidates: qp.alpha.min(self.live_len()),
                 effective_refine: qp.gamma.min(self.live_len()),
+                ref_dist_nanos,
+                candidate_nanos,
+                refine_nanos,
+                total_nanos,
             },
         ))
     }
@@ -896,10 +951,17 @@ impl HdIndex {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         assert_eq!(q_dists.len(), self.refs.m(), "reference-distance count mismatch");
         qp.validate(self.metric);
+        // Distinct span names from the traced single-index pipeline: these
+        // run per (query, shard) on pool threads, so their counts scale
+        // with S and must not pollute the hd_query_* per-query breakdown.
         let mut candidate_ids: Vec<u64> = Vec::with_capacity(qp.gamma * self.trees.len());
-        for g in 0..self.trees.len() {
-            candidate_ids.extend(self.tree_candidates(g, query, q_dists, qp)?.0);
+        {
+            let _s = hd_telemetry::span!("shard_candidates_nanos");
+            for g in 0..self.trees.len() {
+                candidate_ids.extend(self.tree_candidates(g, query, q_dists, qp)?.0);
+            }
         }
+        let _s = hd_telemetry::span!("shard_refine_nanos");
         self.refine(query, candidate_ids, qp.k).map(|(answer, _)| answer)
     }
 
@@ -1109,6 +1171,7 @@ impl HdIndex {
     /// state, so searches (and WAL appends) proceed while it runs; nothing
     /// becomes visible until [`Self::apply_compaction`].
     pub fn prepare_compaction(&self) -> io::Result<CompactionPlan> {
+        let _s = hd_telemetry::span!("compaction_prepare_nanos");
         let next_gen = self.generation + 1;
         // Survivor slots ascend, and so do their ids (the map is monotone).
         let mut survivor_slots: Vec<u64> = Vec::with_capacity(self.live_len());
@@ -1218,6 +1281,8 @@ impl HdIndex {
             remove_stale_generations(&self.dir, self.generation)?;
             return Ok(false);
         }
+        let _s = hd_telemetry::span!("compaction_apply_nanos");
+        let bytes_before = self.disk_bytes();
         self.trees = plan.trees;
         self.heap = plan.heap;
         self.id_map = plan.id_map;
@@ -1238,6 +1303,24 @@ impl HdIndex {
         self.persist_meta()?;
         self.wal.reset()?;
         remove_stale_generations(&self.dir, self.generation)?;
+        if hd_telemetry::enabled() {
+            let reclaimed = bytes_before.saturating_sub(self.disk_bytes());
+            let reg = hd_telemetry::global();
+            reg.counter("compactions_total", "compaction plans installed").inc();
+            reg.counter(
+                "compaction_bytes_reclaimed_total",
+                "on-disk bytes freed by installed compactions",
+            )
+            .add(reclaimed);
+            hd_telemetry::event!(
+                hd_telemetry::Level::Info,
+                "compaction",
+                "generation installed",
+                generation = self.generation,
+                bytes_reclaimed = reclaimed,
+                live = self.live_len(),
+            );
+        }
         Ok(true)
     }
 

@@ -161,6 +161,34 @@ struct WalInner {
     /// Byte offset of the end of the last buffered record.
     append_pos: u64,
     dirty: bool,
+    /// Records appended since the last commit — the batch size the next
+    /// fsync amortizes over, recorded into `wal_commit_batch_records`.
+    pending: u64,
+}
+
+/// Cached handles into the global telemetry registry — resolved once, then
+/// pure atomic updates on the append/commit paths.
+struct WalTelemetry {
+    records: hd_telemetry::Counter,
+    fsyncs: hd_telemetry::Counter,
+    replayed: hd_telemetry::Counter,
+    batch_records: std::sync::Arc<hd_telemetry::LatencyHistogram>,
+}
+
+fn wal_telemetry() -> &'static WalTelemetry {
+    static HANDLES: std::sync::OnceLock<WalTelemetry> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = hd_telemetry::global();
+        WalTelemetry {
+            records: reg.counter("wal_records_total", "records appended across all WALs"),
+            fsyncs: reg.counter("wal_fsyncs_total", "commits that reached the disk"),
+            replayed: reg.counter("wal_replayed_total", "records recovered at open"),
+            batch_records: reg.histogram(
+                "wal_commit_batch_records",
+                "records amortized per fsync (batch size, not nanos)",
+            ),
+        }
+    })
 }
 
 /// Append-only, checksummed, per-shard write-ahead log.
@@ -225,6 +253,7 @@ impl Wal {
                 committed_pos: pos,
                 append_pos: pos,
                 dirty: false,
+                pending: 0,
             }),
             path,
             records_appended: AtomicU64::new(0),
@@ -250,12 +279,20 @@ impl Wal {
         body.extend_from_slice(&payload);
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
 
+        let span = hd_telemetry::span!("wal_append_nanos");
         let mut inner = self.inner.lock();
         inner.writer.write_all(&frame)?;
         inner.append_pos += frame.len() as u64;
         inner.dirty = true;
+        inner.pending += 1;
+        let end = inner.append_pos;
+        drop(inner);
+        drop(span);
         self.records_appended.fetch_add(1, Ordering::Relaxed);
-        Ok(inner.append_pos)
+        if hd_telemetry::enabled() {
+            wal_telemetry().records.inc();
+        }
+        Ok(end)
     }
 
     /// Flushes buffered records and fsyncs — the batch is durable when this
@@ -264,11 +301,21 @@ impl Wal {
     pub fn commit(&self) -> io::Result<u64> {
         let mut inner = self.inner.lock();
         if inner.dirty {
-            inner.writer.flush()?;
-            inner.writer.get_ref().sync_all()?;
+            {
+                let _s = hd_telemetry::span!("wal_fsync_nanos");
+                inner.writer.flush()?;
+                inner.writer.get_ref().sync_all()?;
+            }
             inner.committed_pos = inner.append_pos;
             inner.dirty = false;
+            let batch = inner.pending;
+            inner.pending = 0;
             self.commits.fetch_add(1, Ordering::Relaxed);
+            if hd_telemetry::enabled() {
+                let t = wal_telemetry();
+                t.fsyncs.inc();
+                t.batch_records.record(batch);
+            }
         }
         Ok(inner.committed_pos)
     }
@@ -290,6 +337,7 @@ impl Wal {
         inner.committed_pos = 0;
         inner.append_pos = 0;
         inner.dirty = false;
+        inner.pending = 0;
         Ok(())
     }
 
@@ -319,6 +367,16 @@ impl Wal {
     /// after recovery applies the log).
     pub fn note_replayed(&self, n: u64) {
         self.records_replayed.fetch_add(n, Ordering::Relaxed);
+        if hd_telemetry::enabled() && n > 0 {
+            wal_telemetry().replayed.add(n);
+            hd_telemetry::event!(
+                hd_telemetry::Level::Info,
+                "wal",
+                "replayed records after reopen",
+                applied = n,
+                path = self.path.display().to_string(),
+            );
+        }
     }
 }
 

@@ -1,10 +1,16 @@
 //! Lock-free log-linear latency histogram (HDR-style).
 //!
-//! Values (nanoseconds) land in buckets that are exact below 32 and
-//! otherwise split each power-of-two range into 32 linear sub-buckets, so
-//! the reported percentile overestimates the true value by at most ~3% —
-//! bounded *relative* error at every magnitude, from sub-microsecond cache
-//! hits to multi-second cold scans, in a few KB of atomics.
+//! Values (nanoseconds, or any other u64 magnitude — commit batch sizes,
+//! byte counts) land in buckets that are exact below 32 and otherwise split
+//! each power-of-two range into 32 linear sub-buckets, so the reported
+//! percentile overestimates the true value by at most ~3% — bounded
+//! *relative* error at every magnitude, from sub-microsecond cache hits to
+//! multi-second cold scans, in a few KB of atomics.
+//!
+//! Grown out of `hd-engine`'s serving histogram into the workspace-wide
+//! telemetry primitive: every stage span and write-path measurement records
+//! into one of these, and [`LatencyHistogram::merge`] folds per-component
+//! histograms into fleet aggregates.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,6 +25,9 @@ const NUM_BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
 pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
+    /// Sum of recorded values — the `_sum` of the Prometheus summary and
+    /// the numerator of [`LatencyHistogram::mean`].
+    sum: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -31,6 +40,7 @@ impl std::fmt::Debug for LatencyHistogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LatencyHistogram")
             .field("count", &self.count())
+            .field("sum", &self.sum())
             .finish()
     }
 }
@@ -66,6 +76,7 @@ impl LatencyHistogram {
         Self {
             buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
         }
     }
 
@@ -82,11 +93,27 @@ impl LatencyHistogram {
         }
         self.buckets[bucket_of(nanos)].fetch_add(n, Ordering::Relaxed);
         self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(nanos.saturating_mul(n), Ordering::Relaxed);
     }
 
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of recorded values; 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
     }
 
     /// Value (nanoseconds) at quantile `q ∈ [0, 1]`: the upper bound of the
@@ -109,12 +136,31 @@ impl LatencyHistogram {
         bucket_upper(NUM_BUCKETS - 1)
     }
 
+    /// Folds `other`'s observations into `self`, bucket by bucket. Like
+    /// `percentile`, the walk is racy-but-monotone under concurrent
+    /// recording: every observation that was in `other` before the call
+    /// lands in `self`; observations recorded into `other` *during* the
+    /// call may or may not be included.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Clears all counters.
     pub fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +197,12 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record(u64::MAX);
         assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        // record_n's per-call multiply saturates rather than wrapping.
+        let h2 = LatencyHistogram::new();
+        h2.record_n(u64::MAX, 3);
+        assert_eq!(h2.sum(), u64::MAX);
+        assert_eq!(h2.count(), 3);
     }
 
     #[test]
@@ -165,6 +217,8 @@ mod tests {
         assert_eq!(h.percentile(0.1), 1);
         assert_eq!(h.percentile(1.0), 10);
         assert_eq!(h.percentile(0.0), 1, "q=0 is the minimum observation");
+        assert_eq!(h.sum(), 55);
+        assert!((h.mean() - 5.5).abs() < 1e-12);
     }
 
     #[test]
@@ -198,6 +252,8 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.mean(), 0.0);
     }
 
     #[test]
@@ -207,7 +263,52 @@ mod tests {
         assert_eq!(h.count(), 1);
         h.reset();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
         assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_is_count_sum_and_percentile_exact() {
+        // Two disjoint exact-bucket distributions: after merge the combined
+        // histogram reports exact order statistics over the union.
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for v in 1..=5u64 {
+            a.record(v);
+        }
+        for v in 6..=10u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 10);
+        assert_eq!(a.sum(), 55);
+        assert_eq!(a.percentile(0.5), 5);
+        assert_eq!(a.percentile(1.0), 10);
+        // The source histogram is untouched.
+        assert_eq!(b.count(), 5);
+        assert_eq!(b.percentile(1.0), 10);
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let a = LatencyHistogram::new();
+        a.record_n(100, 3);
+        let before = (a.count(), a.sum(), a.percentile(0.99));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!((a.count(), a.sum(), a.percentile(0.99)), before);
+    }
+
+    #[test]
+    fn merge_then_reset_round_trips() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        b.record_n(1_000, 50);
+        a.merge(&b);
+        assert_eq!(a.count(), 50);
+        a.reset();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.sum(), 0);
+        assert_eq!(a.percentile(0.5), 0);
     }
 
     #[test]

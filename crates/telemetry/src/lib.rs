@@ -1,0 +1,34 @@
+//! Dependency-free telemetry for the HD-Index workspace.
+//!
+//! Three layers, all usable independently:
+//!
+//! - **Metrics** ([`MetricsRegistry`], [`global`]): named lock-free
+//!   counters, gauges, and log-linear latency histograms with Prometheus
+//!   text exposition ([`MetricsRegistry::render_prometheus`]) and a JSON
+//!   snapshot ([`MetricsRegistry::render_json`]).
+//! - **Spans** ([`span!`], [`collect_stages`]): RAII stage timers that feed
+//!   per-stage histograms and nest into a per-query breakdown. Gated by
+//!   [`set_enabled`]; the disabled path is one relaxed atomic load.
+//! - **Events** ([`event!`], [`install_events`]): a structured JSONL log
+//!   with levels, per-target overrides, and per-target rate limiting.
+//!
+//! ```
+//! hd_telemetry::set_enabled(true);
+//! {
+//!     let _q = hd_telemetry::span!("doc_query_nanos");
+//!     let _r = hd_telemetry::span!("doc_refine_nanos");
+//! }
+//! let text = hd_telemetry::global().render_prometheus();
+//! assert!(text.contains("# TYPE doc_refine_nanos summary"));
+//! hd_telemetry::set_enabled(false);
+//! ```
+
+mod events;
+mod histogram;
+mod registry;
+mod span;
+
+pub use events::{event, install_events, set_target_level, uninstall_events, FieldValue, Level};
+pub use histogram::LatencyHistogram;
+pub use registry::{global, validate_prometheus, Counter, Gauge, MetricsRegistry};
+pub use span::{collect_stages, enabled, set_enabled, Span, StageRecord};

@@ -11,6 +11,8 @@
 //! * [`hd_baselines`] — iDistance, Multicurves, C2LSH, QALSH, SRS, PQ/OPQ,
 //!   HNSW, linear scan.
 //! * [`hd_app`] — Borda-count image search (paper §5.5).
+//! * [`hd_telemetry`] — metrics registry, stage spans, structured events;
+//!   Prometheus/JSON exposition.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and per-experiment index.
@@ -23,3 +25,4 @@ pub use hd_engine;
 pub use hd_hilbert;
 pub use hd_index;
 pub use hd_storage;
+pub use hd_telemetry;
