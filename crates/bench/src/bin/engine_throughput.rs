@@ -72,6 +72,7 @@ fn main() {
             shards,
             threads: 0,
             cache_budget_pages: 4096,
+            build_budget_bytes: 0,
             index: index_params.clone(),
             compaction_threshold: None,
         };

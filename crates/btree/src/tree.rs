@@ -7,6 +7,20 @@ use hd_storage::BufferPool;
 use std::io;
 use std::sync::Arc;
 
+/// A lending source of sorted `(key, value)` entries for bulk loading.
+///
+/// This is the borrowed-entry analogue of `Iterator<Item = (Vec<u8>,
+/// Vec<u8>)>`: each call may invalidate the previous borrow, so the source
+/// can hand out slices into an internal buffer it reuses — exactly what an
+/// external-merge reader does. `std::iter::Iterator` cannot express this
+/// (its items must outlive the iterator borrow), which is why bulk loading
+/// from disk-resident runs needs its own trait.
+pub trait EntrySource {
+    /// Returns the next entry, or `None` when the source is exhausted. The
+    /// returned slices are only valid until the next call.
+    fn next_entry(&mut self) -> io::Result<Option<(&[u8], &[u8])>>;
+}
+
 /// A disk B+-tree over fixed-size keys and values (see crate docs).
 ///
 /// The header lives on page 0 of the backing pool; every structural change
@@ -133,8 +147,11 @@ impl BTree {
         self.pool.write(0, &hdr)
     }
 
-    /// Bulk-loads a **sorted** entry stream into an empty tree, packing
-    /// leaves to `fill` (1.0 = the paper's fully-packed offline build).
+    /// Bulk-loads a **sorted** stream of owned entries into an empty tree,
+    /// packing leaves to `fill` (1.0 = the paper's fully-packed offline
+    /// build). Convenience wrapper over [`Self::bulk_load_stream`] for
+    /// callers that already hold a `Vec`; the streaming entry point avoids
+    /// the per-entry allocations entirely.
     ///
     /// # Panics
     /// Panics if the tree is non-empty, entries are mis-sized or unsorted
@@ -142,6 +159,38 @@ impl BTree {
     pub fn bulk_load<I>(&mut self, entries: I, fill: f64) -> io::Result<()>
     where
         I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        struct IterSource<I: Iterator<Item = (Vec<u8>, Vec<u8>)>> {
+            it: I,
+            cur: Option<(Vec<u8>, Vec<u8>)>,
+        }
+        impl<I: Iterator<Item = (Vec<u8>, Vec<u8>)>> EntrySource for IterSource<I> {
+            fn next_entry(&mut self) -> io::Result<Option<(&[u8], &[u8])>> {
+                self.cur = self.it.next();
+                Ok(self.cur.as_ref().map(|(k, v)| (k.as_slice(), v.as_slice())))
+            }
+        }
+        let mut src = IterSource {
+            it: entries.into_iter(),
+            cur: None,
+        };
+        self.bulk_load_stream(&mut src, fill)
+    }
+
+    /// Bulk-loads a **sorted** [`EntrySource`] into an empty tree — the
+    /// single packing implementation behind both entry points. Entries are
+    /// copied straight from the source's borrows into the leaf page under
+    /// construction, so the whole load holds O(tree-height) memory beyond
+    /// the page buffers no matter how many entries stream through: one leaf
+    /// page + one lookahead page for sibling links, plus one `(first key,
+    /// page id)` pair per filled page for the internal levels.
+    ///
+    /// # Panics
+    /// Panics if the tree is non-empty, entries are mis-sized or unsorted
+    /// (sortedness checked in debug builds), or `fill` ∉ (0, 1].
+    pub fn bulk_load_stream<S>(&mut self, src: &mut S, fill: f64) -> io::Result<()>
+    where
+        S: EntrySource + ?Sized,
     {
         assert!(self.root == NO_PAGE && self.count == 0, "tree must be empty");
         assert!(fill > 0.0 && fill <= 1.0, "fill factor must be in (0, 1]");
@@ -158,7 +207,8 @@ impl BTree {
         let mut cur_count = 0usize;
         let mut cur_first: Vec<u8> = Vec::new();
         let mut total = 0u64;
-        let mut prev_key: Option<Vec<u8>> = None;
+        #[cfg(debug_assertions)]
+        let mut prev_key: Vec<u8> = Vec::new();
 
         let mut flush =
             |cur: &mut Vec<u8>, cur_count: &mut usize, cur_first: &mut Vec<u8>,
@@ -181,22 +231,28 @@ impl BTree {
                 Ok(())
             };
 
-        for (k, v) in entries {
+        while let Some((k, v)) = src.next_entry()? {
             assert_eq!(k.len(), self.key_len, "key size mismatch");
             assert_eq!(v.len(), self.val_len, "value size mismatch");
-            if let Some(pk) = &prev_key {
-                debug_assert!(pk <= &k, "bulk_load input must be sorted");
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(
+                    total == 0 || prev_key.as_slice() <= k,
+                    "bulk_load input must be sorted"
+                );
+                prev_key.clear();
+                prev_key.extend_from_slice(k);
             }
             if cur_count == take {
                 flush(&mut cur, &mut cur_count, &mut cur_first, &mut pending, &mut level)?;
             }
             if cur_count == 0 {
-                cur_first = k.clone();
+                cur_first.clear();
+                cur_first.extend_from_slice(k);
             }
-            Leaf::write_entry(&mut cur, cur_count, &k, &v);
+            Leaf::write_entry(&mut cur, cur_count, k, v);
             cur_count += 1;
             total += 1;
-            prev_key = Some(k);
         }
         if cur_count > 0 {
             flush(&mut cur, &mut cur_count, &mut cur_first, &mut pending, &mut level)?;
@@ -902,6 +958,53 @@ mod tests {
             "uncached point lookup must read exactly one page per level"
         );
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bulk_load_stream_matches_vec_path_at_every_fill() {
+        // A genuinely lending source: each entry is serialized into one
+        // reusable scratch buffer, so the previous borrow is clobbered by
+        // the next call — exactly the contract the merge reader provides.
+        struct Scratch {
+            next: u64,
+            end: u64,
+            buf: Vec<u8>,
+        }
+        impl EntrySource for Scratch {
+            fn next_entry(&mut self) -> io::Result<Option<(&[u8], &[u8])>> {
+                if self.next == self.end {
+                    return Ok(None);
+                }
+                self.buf.clear();
+                self.buf.extend_from_slice(&self.next.to_be_bytes());
+                self.buf.extend_from_slice(&(self.next as u32).to_le_bytes());
+                self.next += 1;
+                Ok(Some(self.buf.split_at(8)))
+            }
+        }
+        for fill in [0.7, 1.0] {
+            let tag = format!("stream_{}", (fill * 10.0) as u32);
+            let (pool_v, path_v) = fresh_pool(&format!("{tag}_vec"), 256, 64);
+            let (pool_s, path_s) = fresh_pool(&format!("{tag}_src"), 256, 64);
+            let mut by_vec = BTree::create(Arc::clone(&pool_v), 8, 4).unwrap();
+            let mut by_src = BTree::create(Arc::clone(&pool_s), 8, 4).unwrap();
+            by_vec
+                .bulk_load((0..1500u64).map(|i| (key8(i), val4(i))), fill)
+                .unwrap();
+            let mut src = Scratch { next: 0, end: 1500, buf: Vec::new() };
+            by_src.bulk_load_stream(&mut src, fill).unwrap();
+            pool_v.sync().unwrap();
+            pool_s.sync().unwrap();
+            assert_eq!(
+                std::fs::read(&path_v).unwrap(),
+                std::fs::read(&path_s).unwrap(),
+                "stream and vec bulk loads must write identical files (fill {fill})"
+            );
+            assert_eq!(by_src.len(), 1500);
+            assert_eq!(by_src.get(&key8(777)).unwrap(), Some(val4(777)));
+            std::fs::remove_file(path_v).ok();
+            std::fs::remove_file(path_s).ok();
+        }
     }
 
     #[test]

@@ -148,6 +148,152 @@ impl Dataset {
     }
 }
 
+/// A resettable stream of vectors read in chunks — the corpus interface of
+/// the out-of-core build path (DESIGN.md §11).
+///
+/// A streaming index build must scan the corpus more than once (once for
+/// reference distances, once per tree for key encoding would be the naive
+/// layout; our pipeline scans it once and replays a temp heap, but
+/// compaction replays survivors twice), and the corpus may not fit in RAM.
+/// `VectorSource` abstracts over "where the vectors live": an in-memory
+/// [`Dataset`] ([`DatasetSource`]) or a flat `f32` file on disk
+/// ([`RawF32Source`]). Implementations must yield the same vectors in the
+/// same order on every pass.
+pub trait VectorSource {
+    /// Dimensionality of every vector.
+    fn dim(&self) -> usize;
+    /// Total number of vectors the source yields per pass.
+    fn len(&self) -> usize;
+    /// The metric the corpus is meant to be searched under. Vectors are
+    /// yielded *already prepared* for this metric (unit-normalized for
+    /// cosine), matching the [`Dataset::with_metric`] invariant.
+    fn metric(&self) -> Metric;
+    /// Rewinds to the first vector.
+    fn reset(&mut self) -> io::Result<()>;
+    /// Reads up to `max_points` vectors into `buf` (cleared first, row-major)
+    /// and returns how many were read; `0` means the pass is complete.
+    fn next_chunk(&mut self, max_points: usize, buf: &mut Vec<f32>) -> io::Result<usize>;
+
+    /// `true` when the source is exhausted without a [`reset`](Self::reset).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`VectorSource`] view over an in-memory [`Dataset`].
+#[derive(Debug)]
+pub struct DatasetSource<'a> {
+    data: &'a Dataset,
+    next: usize,
+}
+
+impl<'a> DatasetSource<'a> {
+    pub fn new(data: &'a Dataset) -> Self {
+        Self { data, next: 0 }
+    }
+}
+
+impl VectorSource for DatasetSource<'_> {
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    fn metric(&self) -> Metric {
+        self.data.metric()
+    }
+    fn reset(&mut self) -> io::Result<()> {
+        self.next = 0;
+        Ok(())
+    }
+    fn next_chunk(&mut self, max_points: usize, buf: &mut Vec<f32>) -> io::Result<usize> {
+        buf.clear();
+        let dim = self.data.dim();
+        let take = max_points.min(self.data.len() - self.next);
+        let flat = self.data.as_flat();
+        buf.extend_from_slice(&flat[self.next * dim..(self.next + take) * dim]);
+        self.next += take;
+        Ok(take)
+    }
+}
+
+/// [`VectorSource`] over a flat little-endian `f32` file (`n × dim` values,
+/// no header) — the corpus format `build_bench` writes so a 10M-point build
+/// never holds the corpus in RAM. Rows are prepared for `metric` as they
+/// are read (unit normalization for cosine), so downstream consumers see
+/// the same bytes a [`Dataset::with_metric`] corpus would hand them.
+#[derive(Debug)]
+pub struct RawF32Source {
+    file: std::fs::File,
+    dim: usize,
+    len: usize,
+    next: usize,
+    metric: Metric,
+}
+
+impl RawF32Source {
+    /// Opens `path` as `dim`-dimensional rows; the length is derived from
+    /// the file size, which must be a whole number of rows.
+    pub fn open(path: impl AsRef<Path>, dim: usize, metric: Metric) -> io::Result<Self> {
+        assert!(dim > 0, "dimensionality must be positive");
+        let file = std::fs::File::open(path)?;
+        let bytes = file.metadata()?.len() as usize;
+        let row = dim * std::mem::size_of::<f32>();
+        if !bytes.is_multiple_of(row) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file size {bytes} is not a multiple of row size {row}"),
+            ));
+        }
+        Ok(Self {
+            file,
+            dim,
+            len: bytes / row,
+            next: 0,
+            metric,
+        })
+    }
+}
+
+impl VectorSource for RawF32Source {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+    fn reset(&mut self) -> io::Result<()> {
+        use std::io::Seek;
+        self.file.seek(io::SeekFrom::Start(0))?;
+        self.next = 0;
+        Ok(())
+    }
+    fn next_chunk(&mut self, max_points: usize, buf: &mut Vec<f32>) -> io::Result<usize> {
+        buf.clear();
+        let take = max_points.min(self.len - self.next);
+        if take == 0 {
+            return Ok(0);
+        }
+        let mut bytes = vec![0u8; take * self.dim * std::mem::size_of::<f32>()];
+        self.file.read_exact(&mut bytes)?;
+        buf.reserve(take * self.dim);
+        for chunk in bytes.chunks_exact(4) {
+            buf.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        if self.metric.normalizes_vectors() {
+            for row in buf.chunks_exact_mut(self.dim) {
+                self.metric.normalize_for_index(row);
+            }
+        }
+        self.next += take;
+        Ok(take)
+    }
+}
+
 /// Static description of one of the paper's corpora (Table 4): name,
 /// dimensionality, value domain, and whether features are integral.
 #[derive(Debug, Clone, Copy, PartialEq)]

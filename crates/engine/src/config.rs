@@ -16,6 +16,13 @@ pub struct EngineParams {
     /// shard (S·(τ+1) pools under one ceiling). `0` leaves pools unbudgeted
     /// (each still respects `index.query_cache_pages` locally).
     pub cache_budget_pages: usize,
+    /// Total build working-memory quota in **bytes**, shared by all S
+    /// parallel shard builds the way `cache_budget_pages` is shared at
+    /// query time (DESIGN.md §11): each shard's chunk buffers and
+    /// external-sort buffers charge one `hd_storage::BuildBudget`, spilling
+    /// sorted runs when it fills. `0` builds unbounded (no spilling). The
+    /// budget also caps each shard's later compaction rebuilds.
+    pub build_budget_bytes: usize,
     /// Per-shard HD-Index construction parameters. The reference set is
     /// selected once over the full corpus with these settings and shared by
     /// all shards (see `hd_index::BuildOpts::references`).
@@ -37,6 +44,7 @@ impl EngineParams {
             shards: 1,
             threads: 0,
             cache_budget_pages: 0,
+            build_budget_bytes: 0,
             index,
             compaction_threshold: None,
         }

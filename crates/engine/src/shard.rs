@@ -16,7 +16,7 @@ use crate::config::EngineParams;
 use hd_core::dataset::Dataset;
 use hd_core::pool::WorkerPool;
 use hd_index::{BuildOpts, HdIndex, ReferenceSet};
-use hd_storage::{CacheBudget, IoSnapshot};
+use hd_storage::{BuildBudget, CacheBudget, IoSnapshot};
 use parking_lot::RwLock;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -93,6 +93,11 @@ impl ShardSet {
         );
         let budget = (params.cache_budget_pages > 0)
             .then(|| CacheBudget::new(params.cache_budget_pages));
+        // One build-memory quota split dynamically across the S parallel
+        // shard builds — clones share the counter, so the fleet-wide
+        // working set stays under the one cap however the shards interleave.
+        let build_budget =
+            (params.build_budget_bytes > 0).then(|| BuildBudget::new(params.build_budget_bytes));
 
         // Each build task *owns* its slice, so a slice is freed the moment
         // its shard finishes building. Peak memory is still corpus + slices
@@ -121,6 +126,7 @@ impl ShardSet {
         pool.run_scoped(built.iter_mut().zip(slices).enumerate().map(|(si, (slot, slice))| {
             let refs = refs.clone();
             let budget = budget.clone();
+            let build_budget = build_budget.clone();
             let index_params = &params.index;
             let target = shard_dir(dir, si);
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
@@ -131,6 +137,7 @@ impl ShardSet {
                     BuildOpts {
                         references: Some(refs),
                         cache_budget: budget,
+                        build_budget,
                     },
                 ));
             });

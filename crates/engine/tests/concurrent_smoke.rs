@@ -35,6 +35,7 @@ fn concurrent_batches_with_interleaved_writes() {
         shards: 3,
         threads: 4,
         cache_budget_pages: 256,
+        build_budget_bytes: 0,
         index: HdIndexParams {
             query_cache_pages: 64,
             ..index_params()

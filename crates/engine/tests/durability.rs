@@ -54,6 +54,7 @@ fn background_compaction_races_searches_then_reopens() {
         shards: 3,
         threads: 4,
         cache_budget_pages: 512,
+        build_budget_bytes: 0,
         index: index_params(),
         compaction_threshold: Some(0.10),
     };
@@ -142,6 +143,7 @@ fn concurrent_writes_searches_and_compactions_stay_coherent() {
         shards: 3,
         threads: 4,
         cache_budget_pages: 512,
+        build_budget_bytes: 0,
         index: index_params(),
         compaction_threshold: Some(0.08),
     };
@@ -207,6 +209,7 @@ fn compact_now_is_transparent_to_search() {
         shards: 2,
         threads: 2,
         cache_budget_pages: 256,
+        build_budget_bytes: 0,
         index: index_params(),
         compaction_threshold: None,
     };

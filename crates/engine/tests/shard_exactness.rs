@@ -58,6 +58,7 @@ proptest! {
                 shards,
                 threads: 4,
                 cache_budget_pages: 0,
+                build_budget_bytes: 0,
                 index: index_params(),
             compaction_threshold: None,
             };
@@ -100,6 +101,7 @@ fn cosine_engine_matches_exact_cosine_scan_when_saturated() {
             shards,
             threads: 4,
             cache_budget_pages: 0,
+            build_budget_bytes: 0,
             index: ip.clone(),
             compaction_threshold: None,
         };
@@ -161,6 +163,7 @@ fn sharded_answers_survive_reopen() {
         shards: 3,
         threads: 4,
         cache_budget_pages: 0,
+        build_budget_bytes: 0,
         index: index_params(),
             compaction_threshold: None,
     };
@@ -193,6 +196,7 @@ fn global_ids_round_trip_through_shards() {
             shards,
             threads: 4,
             cache_budget_pages: 0,
+            build_budget_bytes: 0,
             index: index_params(),
             compaction_threshold: None,
         };

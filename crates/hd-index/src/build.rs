@@ -1,0 +1,478 @@
+//! Streaming (out-of-core) construction core — DESIGN.md §11.
+//!
+//! Both fresh builds ([`HdIndex::build_with`](crate::HdIndex::build_with))
+//! and compaction ([`HdIndex::prepare_compaction`](crate::HdIndex::prepare_compaction))
+//! funnel through [`run`]: a two-pass pipeline over a [`VectorSource`] whose
+//! working memory is capped by a [`BuildBudget`].
+//!
+//! ```text
+//! pass 1 (once)      source ─chunks─► ref-dist rows ─► refdists.f32  (scratch, sequential)
+//!                            └──────► vectors ───────► vector heap   (final file)
+//!
+//! pass 2 (per tree)  source ─chunks─► hilbert keys ─┐
+//!                    refdists.f32 ─────rows─────────┴─► records ─► ExternalSorter
+//!                                             budget full? spill sorted runs
+//!                    MergeReader ─sorted records─► BTree::bulk_load_stream
+//! ```
+//!
+//! Working memory never exceeds one chunk of vectors plus the sort buffer,
+//! both sized from the [`BuildBudget`]; everything per-object lives in
+//! sequential scratch files under `dir/build.tmp/`, charged to the IO
+//! ledger page by page like every other block transfer. With an unbounded
+//! budget the sorter never spills and the pipeline *is* the in-memory
+//! build — one implementation, byte-identical output either way (the
+//! external-sort proptests pin this down).
+//!
+//! Crash story: scratch files live only under `build.tmp/`;
+//! [`sweep_tmp`] removes the whole directory on every open and after every
+//! completed build, so debris of an interrupted build can never be
+//! mistaken for index data (generation files are separately swept by
+//! `remove_stale_generations`).
+
+use crate::config::HdIndexParams;
+use crate::rdb;
+use crate::reference::ReferenceSet;
+use hd_btree::{BTree, EntrySource};
+use hd_core::dataset::VectorSource;
+use hd_core::metric::Metric;
+use hd_core::partition::Partitioning;
+use hd_hilbert::HilbertCurve;
+use hd_storage::{
+    BufferPool, BuildBudget, CacheBudget, ExternalSorter, IoSnapshot, IoStats, MergeReader, Pager,
+    VectorHeap, DEFAULT_PAGE_SIZE,
+};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Scratch directory for spill runs and the ref-distance file, inside the
+/// index directory. Never contains index data.
+pub(crate) const BUILD_TMP: &str = "build.tmp";
+
+/// Chunk-buffer reservation never exceeds this, however large the budget —
+/// past a few hundred thousand points per chunk there is nothing to win.
+const CHUNK_WANT_CAP: usize = 64 << 20;
+
+/// Floor on points per chunk: below this, per-chunk overheads (pool
+/// dispatch, syscalls) dominate. The chunk reservation's floor follows it.
+const MIN_CHUNK_POINTS: usize = 256;
+
+/// Buffered-IO size for the sequential ref-distance scratch file.
+const RD_BUF: usize = 256 << 10;
+
+/// Removes the scratch directory — crash debris at open, leftovers after a
+/// completed build. Best-effort: the directory usually does not exist.
+pub(crate) fn sweep_tmp(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir.join(BUILD_TMP));
+}
+
+/// Everything [`run`] needs besides the vector stream itself. The caller
+/// (fresh build or compaction) decides file paths and generation tags; the
+/// core only streams.
+pub(crate) struct BuildCtx<'a> {
+    /// Index parameters with the domain already adjusted for the metric.
+    pub params: &'a HdIndexParams,
+    pub refs: &'a ReferenceSet,
+    pub partitioning: &'a Partitioning,
+    pub curves: &'a [HilbertCurve],
+    /// Index directory (scratch goes to `dir/build.tmp/`).
+    pub dir: &'a Path,
+    /// Final path of the vector heap for this generation.
+    pub heap_path: PathBuf,
+    /// Final path of each RDB-tree file for this generation.
+    pub tree_paths: Vec<PathBuf>,
+    pub cache_budget: Option<CacheBudget>,
+    /// The working-memory cap. [`BuildBudget::unbounded`] reproduces the
+    /// in-memory build.
+    pub budget: BuildBudget,
+    /// Sync every pool before returning — compaction's handover contract
+    /// (the plan must be durable before `apply` commits the meta rename).
+    pub sync: bool,
+    /// Distinguishes scratch file names across generations.
+    pub scratch_tag: u64,
+}
+
+/// What [`run`] hands back: the loaded trees and heap plus the spill
+/// accounting the caller reports.
+pub(crate) struct BuildArtifacts {
+    pub trees: Vec<BTree>,
+    pub heap: VectorHeap,
+    pub spilled_runs: u64,
+    pub spilled_bytes: u64,
+    /// Block transfers of the scratch files (spill runs, merge reads,
+    /// ref-distance file), in [`DEFAULT_PAGE_SIZE`] units.
+    pub scratch_io: IoSnapshot,
+}
+
+/// Charges `bytes` of sequential scratch IO to the ledger in page units,
+/// mirroring how the external sorter counts its runs.
+fn charge(io: &IoStats, bytes: u64, write: bool) {
+    for _ in 0..bytes.div_ceil(DEFAULT_PAGE_SIZE as u64) {
+        if write {
+            io.record_physical_write();
+        } else {
+            io.record_physical_read();
+        }
+    }
+}
+
+/// Computes ref-distance rows for one chunk, split across the global worker
+/// pool: `rows[i*m..][..m]` = distances from chunk point `i` to every
+/// reference. Each point's row is computed independently, so the result is
+/// bit-identical to the sequential loop regardless of task count.
+fn ref_dist_chunk(refs: &ReferenceSet, chunk: &[f32], dim: usize, rows: &mut [f32]) {
+    let n = chunk.len() / dim;
+    if n == 0 {
+        return;
+    }
+    let m = rows.len() / n;
+    let pool = hd_core::pool::global();
+    let tasks = pool.threads().clamp(1, n);
+    let base = n / tasks;
+    let extra = n % tasks;
+    let mut jobs: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = Vec::with_capacity(tasks);
+    let mut tail = rows;
+    let mut start = 0usize;
+    for t in 0..tasks {
+        let count = base + usize::from(t < extra);
+        if count == 0 {
+            continue;
+        }
+        let (mine, rest) = tail.split_at_mut(count * m);
+        tail = rest;
+        let s = start;
+        jobs.push((
+            t,
+            Box::new(move || {
+                let mut row = Vec::with_capacity(m);
+                for (i, out) in mine.chunks_exact_mut(m).enumerate() {
+                    refs.distances_to(&chunk[(s + i) * dim..(s + i + 1) * dim], &mut row);
+                    out.copy_from_slice(&row);
+                }
+            }),
+        ));
+        start += count;
+    }
+    pool.run_scoped(jobs);
+}
+
+/// Per-chunk key/record encoding parameters (fixed across chunks of one
+/// tree).
+struct EncodeJob<'a> {
+    partitioning: &'a Partitioning,
+    curve: &'a HilbertCurve,
+    /// `j → object id`; `None` is the identity (fresh build).
+    ids: Option<&'a [u64]>,
+    group: usize,
+    lo: f32,
+    hi: f32,
+    dim: usize,
+    m: usize,
+    key_len: usize,
+    rec_len: usize,
+    /// Global index of the chunk's first point.
+    base: usize,
+}
+
+/// Encodes one chunk of sorter records — `hilbert_key ++ id_be ++ ref-dist
+/// bytes` per point — split across the global worker pool. The value bytes
+/// are copied verbatim from the scratch file (they are already the
+/// little-endian `f32` layout `rdb::encode_value` produces).
+fn encode_chunk(job: &EncodeJob<'_>, chunk: &[f32], rowbytes: &[u8], recbuf: &mut [u8]) {
+    let n = recbuf.len() / job.rec_len;
+    if n == 0 {
+        return;
+    }
+    let pool = hd_core::pool::global();
+    let tasks = pool.threads().clamp(1, n);
+    let base = n / tasks;
+    let extra = n % tasks;
+    let mut jobs: Vec<(usize, Box<dyn FnOnce() + Send + '_>)> = Vec::with_capacity(tasks);
+    let mut tail = recbuf;
+    let mut start = 0usize;
+    for t in 0..tasks {
+        let count = base + usize::from(t < extra);
+        if count == 0 {
+            continue;
+        }
+        let (mine, rest) = tail.split_at_mut(count * job.rec_len);
+        tail = rest;
+        let s = start;
+        jobs.push((
+            t,
+            Box::new(move || {
+                let (dim, m) = (job.dim, job.m);
+                let hk_len = job.key_len - 8;
+                let mut sub = Vec::new();
+                for (i, rec) in mine.chunks_exact_mut(job.rec_len).enumerate() {
+                    let p = s + i;
+                    let j = job.base + p;
+                    let id = match job.ids {
+                        None => j as u64,
+                        Some(map) => map[j],
+                    };
+                    job.partitioning
+                        .project_into(&chunk[p * dim..(p + 1) * dim], job.group, &mut sub);
+                    let hk = job.curve.encode_floats(&sub, job.lo, job.hi);
+                    rec[..hk_len].copy_from_slice(hk.as_bytes());
+                    rec[hk_len..job.key_len].copy_from_slice(&id.to_be_bytes());
+                    rec[job.key_len..].copy_from_slice(&rowbytes[p * 4 * m..(p + 1) * 4 * m]);
+                }
+            }),
+        ));
+        start += count;
+    }
+    pool.run_scoped(jobs);
+}
+
+/// Adapts a [`MergeReader`] of `key ++ value` records into the borrowed
+/// entry stream [`BTree::bulk_load_stream`] consumes.
+struct RecordSource {
+    reader: MergeReader,
+    key_len: usize,
+}
+
+impl EntrySource for RecordSource {
+    fn next_entry(&mut self) -> io::Result<Option<(&[u8], &[u8])>> {
+        let key_len = self.key_len;
+        Ok(self.reader.next()?.map(|rec| rec.split_at(key_len)))
+    }
+}
+
+/// The streaming build pipeline (module docs): pass 1 streams vectors into
+/// the heap and ref-dist rows into scratch; pass 2 streams each tree's
+/// records through an external sort into a bulk load. `ids` maps the `j`-th
+/// source vector to its object id (`None` = identity; compaction passes the
+/// survivor ids).
+pub(crate) fn run(
+    ctx: &BuildCtx<'_>,
+    src: &mut dyn VectorSource,
+    ids: Option<&[u64]>,
+) -> io::Result<BuildArtifacts> {
+    let dim = src.dim();
+    let m = ctx.refs.m();
+    let n = src.len();
+    let tmp = ctx.dir.join(BUILD_TMP);
+    std::fs::create_dir_all(&tmp)?;
+    let io = Arc::new(IoStats::new());
+
+    // One reservation covers the chunk-resident state of both passes:
+    // vectors (4·dim), ref-dist rows in float and byte form (8·m), sorter
+    // records (key + 4·m), per-point. The grant shapes throughput only;
+    // correctness is identical at any chunk size.
+    let per_point = 4 * dim + 12 * m + 64;
+    let want = (ctx.budget.capacity() / 4)
+        .min(CHUNK_WANT_CAP)
+        .max(per_point * MIN_CHUNK_POINTS);
+    let chunk_grant = ctx.budget.reserve(per_point * MIN_CHUNK_POINTS, want);
+    let chunk_points = (chunk_grant.bytes() / per_point).max(MIN_CHUNK_POINTS);
+
+    // Pass 1: one sequential sweep — vectors into the heap, ref-dist rows
+    // into the scratch file, chunk-parallel on the worker pool.
+    let rd_path = tmp.join(format!("refdists.g{}.f32", ctx.scratch_tag));
+    let mut heap = VectorHeap::create_budgeted(
+        &ctx.heap_path,
+        dim,
+        ctx.params.query_cache_pages,
+        ctx.cache_budget.clone(),
+    )?;
+    let mut chunk: Vec<f32> = Vec::new();
+    let mut rowbytes: Vec<u8> = Vec::new();
+    {
+        let _s = hd_telemetry::span!("build_refdist_nanos");
+        let mut writer = BufWriter::with_capacity(RD_BUF, File::create(&rd_path)?);
+        let mut rows: Vec<f32> = Vec::new();
+        let mut written = 0u64;
+        loop {
+            let got = src.next_chunk(chunk_points, &mut chunk)?;
+            if got == 0 {
+                break;
+            }
+            rows.resize(got * m, 0.0);
+            ref_dist_chunk(ctx.refs, &chunk, dim, &mut rows);
+            rowbytes.clear();
+            rowbytes.extend(rows.iter().flat_map(|d| d.to_le_bytes()));
+            writer.write_all(&rowbytes)?;
+            written += rowbytes.len() as u64;
+            heap.append_all(chunk.chunks_exact(dim))?;
+        }
+        writer.flush()?;
+        charge(&io, written, true);
+    }
+
+    // Pass 2: per tree, replay source + scratch rows chunk by chunk,
+    // encode records in parallel, external-sort them under the budget, and
+    // stream the merge straight into the bottom-up bulk load.
+    let (lo, hi) = ctx.params.domain;
+    let mut trees = Vec::with_capacity(ctx.curves.len());
+    let mut spilled_runs = 0u64;
+    let mut spilled_bytes = 0u64;
+    let mut recbuf: Vec<u8> = Vec::new();
+    for (g, curve) in ctx.curves.iter().enumerate() {
+        let key_len = rdb::key_len(curve.key_len());
+        let val_len = rdb::val_len(m);
+        let rec_len = key_len + val_len;
+        let reader = {
+            let _s = hd_telemetry::span!("build_sort_nanos");
+            // Ask for enough to sort in memory; a bounded budget grants
+            // less and the sorter spills runs instead.
+            let sort_want = n.saturating_mul(rec_len + 4).saturating_add(64);
+            let mut sorter = ExternalSorter::new(
+                &tmp,
+                format!("tree{g}.g{}", ctx.scratch_tag),
+                rec_len,
+                &ctx.budget,
+                sort_want,
+                Arc::clone(&io),
+            )?;
+            src.reset()?;
+            let mut rd = BufReader::with_capacity(RD_BUF, File::open(&rd_path)?);
+            let mut read_bytes = 0u64;
+            let mut base = 0usize;
+            loop {
+                let got = src.next_chunk(chunk_points, &mut chunk)?;
+                if got == 0 {
+                    break;
+                }
+                rowbytes.resize(got * m * 4, 0);
+                rd.read_exact(&mut rowbytes)?;
+                read_bytes += rowbytes.len() as u64;
+                recbuf.resize(got * rec_len, 0);
+                let job = EncodeJob {
+                    partitioning: ctx.partitioning,
+                    curve,
+                    ids,
+                    group: g,
+                    lo,
+                    hi,
+                    dim,
+                    m,
+                    key_len,
+                    rec_len,
+                    base,
+                };
+                encode_chunk(&job, &chunk, &rowbytes, &mut recbuf);
+                for r in 0..got {
+                    sorter.push(&recbuf[r * rec_len..(r + 1) * rec_len])?;
+                }
+                base += got;
+            }
+            charge(&io, read_bytes, false);
+            sorter.finish()?
+        };
+        spilled_runs += reader.spilled_runs() as u64;
+        spilled_bytes += reader.spilled_bytes();
+
+        let pager = Pager::create(&ctx.tree_paths[g])?;
+        let pool = Arc::new(BufferPool::with_budget(
+            pager,
+            ctx.params.query_cache_pages,
+            ctx.cache_budget.clone(),
+        ));
+        let mut tree = BTree::create(pool, key_len, val_len)?;
+        let mut records = RecordSource { reader, key_len };
+        {
+            let _s = hd_telemetry::span!("build_bulkload_nanos");
+            tree.bulk_load_stream(&mut records, 1.0)?;
+        }
+        if hd_telemetry::enabled() {
+            // The merge happens inside the bulk load's next_entry calls;
+            // the reader times it, we only report it. (Nested inside
+            // build_bulkload_nanos, so the four stages are not additive.)
+            hd_telemetry::global()
+                .histogram(
+                    "build_merge_nanos",
+                    "nanoseconds spent in the k-way spill-run merge during bulk load",
+                )
+                .record(records.reader.merge_nanos());
+        }
+        if ctx.sync {
+            tree.pool().sync()?;
+        }
+        trees.push(tree);
+    }
+    if ctx.sync {
+        heap.pool().sync()?;
+    }
+    std::fs::remove_file(&rd_path)?;
+    // Empty now unless a concurrent build shares the directory (it never
+    // does) — and a populated directory is swept at next open anyway.
+    let _ = std::fs::remove_dir(&tmp);
+
+    if hd_telemetry::enabled() {
+        let reg = hd_telemetry::global();
+        reg.counter("build_spill_runs_total", "external-sort runs spilled by index builds")
+            .add(spilled_runs);
+        reg.counter(
+            "build_spill_bytes_total",
+            "bytes spilled to external-sort runs by index builds",
+        )
+        .add(spilled_bytes);
+    }
+    Ok(BuildArtifacts {
+        trees,
+        heap,
+        spilled_runs,
+        spilled_bytes,
+        scratch_io: io.snapshot(),
+    })
+}
+
+/// [`VectorSource`] over the surviving (non-tombstoned) slots of a heap —
+/// compaction's corpus. Fetches page-blocked like refinement does, so a
+/// resettable multi-pass scan never holds more than a chunk.
+pub(crate) struct HeapSurvivorSource<'a> {
+    heap: &'a VectorHeap,
+    slots: &'a [u64],
+    metric: Metric,
+    pos: usize,
+    arena: Vec<f32>,
+}
+
+impl<'a> HeapSurvivorSource<'a> {
+    pub(crate) fn new(heap: &'a VectorHeap, slots: &'a [u64], metric: Metric) -> Self {
+        Self {
+            heap,
+            slots,
+            metric,
+            pos: 0,
+            arena: Vec::new(),
+        }
+    }
+}
+
+impl VectorSource for HeapSurvivorSource<'_> {
+    fn dim(&self) -> usize {
+        self.heap.dim()
+    }
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+    fn reset(&mut self) -> io::Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+    fn next_chunk(&mut self, max_points: usize, buf: &mut Vec<f32>) -> io::Result<usize> {
+        buf.clear();
+        let dim = self.heap.dim();
+        let end = (self.pos + max_points).min(self.slots.len());
+        let take = end - self.pos;
+        let mut i = self.pos;
+        while i < end {
+            let page = self.heap.page_of(self.slots[i]);
+            let mut j = i + 1;
+            while j < end && self.heap.page_of(self.slots[j]) == page {
+                j += 1;
+            }
+            self.heap.get_block_into(&self.slots[i..j], &mut self.arena)?;
+            buf.extend_from_slice(&self.arena[..(j - i) * dim]);
+            i = j;
+        }
+        self.pos = end;
+        Ok(take)
+    }
+}

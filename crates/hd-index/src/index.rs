@@ -7,12 +7,15 @@ use crate::rdb;
 use crate::reference::{self, ReferenceSet};
 use hd_btree::BTree;
 use hd_core::api::{AnnIndex, IndexStats, Lifecycle, SearchOutput, SearchRequest, WriteStats};
-use hd_core::dataset::Dataset;
+use crate::build;
+use hd_core::dataset::{Dataset, VectorSource};
 use hd_core::metric::Metric;
 use hd_core::partition::Partitioning;
 use hd_core::topk::{Neighbor, TopK};
 use hd_hilbert::HilbertCurve;
-use hd_storage::{BufferPool, CacheBudget, IoSnapshot, Pager, VectorHeap, Wal, WalRecord, WAL_FILE};
+use hd_storage::{
+    BufferPool, BuildBudget, CacheBudget, IoSnapshot, VectorHeap, Wal, WalRecord, WAL_FILE,
+};
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -139,6 +142,29 @@ pub struct BuildOpts {
     /// by any other index holding a clone); per-pool capacity still comes
     /// from `query_cache_pages`.
     pub cache_budget: Option<CacheBudget>,
+    /// Working-memory cap for construction (DESIGN.md §11): chunk buffers
+    /// and external-sort buffers are charged here, and the sorter spills
+    /// runs to disk when it fills. `None` builds unbounded (the sorter
+    /// never spills — the classic in-memory build as a degenerate case). A
+    /// sharded engine clones one budget into every parallel shard build the
+    /// way `cache_budget` is shared at query time; the index keeps the
+    /// handle so later compactions rebuild under the same cap.
+    pub build_budget: Option<BuildBudget>,
+}
+
+/// How the most recent streaming build of this index behaved (fresh build
+/// or compaction): external-sort spill volume and scratch-file block
+/// transfers (DESIGN.md §11). All zero for an index opened from disk, and
+/// for builds whose budget never filled (nothing spilled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Sorted runs spilled across all τ trees.
+    pub spilled_runs: u64,
+    /// Bytes written to spill runs across all τ trees.
+    pub spilled_bytes: u64,
+    /// Scratch-file block transfers (spill runs, merge reads, the
+    /// ref-distance file), in `DEFAULT_PAGE_SIZE` units.
+    pub scratch_io: IoSnapshot,
 }
 
 /// On-disk name of RDB-tree `g` at file `generation`. Generation 0 keeps
@@ -209,6 +235,8 @@ pub struct CompactionPlan {
     trees: Vec<BTree>,
     heap: VectorHeap,
     id_map: Option<Vec<u64>>,
+    /// Spill/scratch accounting of the streaming rebuild.
+    build_stats: BuildStats,
 }
 
 /// The HD-Index: τ RDB-trees over Hilbert keys plus a vector heap file.
@@ -258,6 +286,12 @@ pub struct HdIndex {
     /// Shared cache quota the pools charge; kept so compaction can rebuild
     /// the next generation's pools under the same budget.
     cache_budget: Option<CacheBudget>,
+    /// Working-memory cap this index was built under; compaction rebuilds
+    /// through the same streaming pipeline with the same cap. Unbounded
+    /// for indexes opened from disk.
+    build_budget: BuildBudget,
+    /// Spill/scratch accounting of the most recent build or compaction.
+    build_stats: BuildStats,
 }
 
 impl std::fmt::Debug for HdIndex {
@@ -277,25 +311,65 @@ impl HdIndex {
     /// dimensions → Hilbert-key each partition → bulk-load τ RDB-trees →
     /// store raw descriptors in the heap file.
     ///
-    /// # Panics
-    /// Panics if the dataset is empty or parameters are inconsistent
-    /// (τ > ν, m > n).
+    /// # Errors
+    /// `InvalidInput` on an empty dataset, τ > ν, or a non-metric distance.
     pub fn build(data: &Dataset, params: &HdIndexParams, dir: impl AsRef<Path>) -> io::Result<Self> {
         Self::build_with(data, params, dir, BuildOpts::default())
     }
 
     /// [`Self::build`] with explicit [`BuildOpts`] (shared reference set,
-    /// shared cache budget) — the entry point the serving engine uses.
+    /// shared cache budget, build budget) — the entry point the serving
+    /// engine uses. Selects references over the full in-memory dataset
+    /// (when none are shared) and streams the rest through
+    /// [`Self::build_from_source`].
     pub fn build_with(
         data: &Dataset,
         params: &HdIndexParams,
         dir: impl AsRef<Path>,
+        mut opts: BuildOpts,
+    ) -> io::Result<Self> {
+        if opts.references.is_none() && !data.is_empty() && data.metric().is_metric_space() {
+            opts.references = Some(reference::select(
+                data,
+                params.num_references,
+                params.ref_selection,
+                params.seed,
+            ));
+        }
+        let mut src = hd_core::dataset::DatasetSource::new(data);
+        Self::build_from_source(&mut src, params, dir, opts)
+    }
+
+    /// Builds the index by streaming an arbitrary [`VectorSource`] — the
+    /// out-of-core entry point (DESIGN.md §11): the corpus can be a flat
+    /// file orders of magnitude larger than RAM, and working memory is
+    /// capped by [`BuildOpts::build_budget`]. When no reference set is
+    /// supplied one is selected over a deterministic strided sample of the
+    /// source (the full corpus may not fit in memory).
+    pub fn build_from_source(
+        src: &mut dyn VectorSource,
+        params: &HdIndexParams,
+        dir: impl AsRef<Path>,
         opts: BuildOpts,
     ) -> io::Result<Self> {
-        assert!(!data.is_empty(), "cannot index an empty dataset");
-        let dim = data.dim();
-        assert!(params.tau <= dim, "more trees than dimensions");
-        let metric = data.metric();
+        if src.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot index an empty dataset",
+            ));
+        }
+        let dim = src.dim();
+        if params.tau > dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "τ = {} trees over {dim} dimensions: every tree needs at least one \
+                     dimension",
+                    params.tau
+                ),
+            ));
+        }
+        let metric = src.metric();
         if !metric.is_metric_space() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -308,6 +382,9 @@ impl HdIndex {
         }
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        // Debris of a build that crashed mid-pipeline is meaningless —
+        // sweep it before spilling fresh runs into the same scratch dir.
+        build::sweep_tmp(&dir);
 
         // Metrics that normalize vectors move the corpus into the unit
         // ball; the Hilbert grid must quantize over the occupied domain,
@@ -321,8 +398,7 @@ impl HdIndex {
         }
         let params = &params;
 
-        // 1. Reference objects and per-object reference distances (these are
-        //    the leaf payloads).
+        // 1. Reference objects (the leaf payloads are their distances).
         if let Some(shared) = &opts.references {
             if shared.metric() != metric {
                 return Err(io::Error::new(
@@ -335,19 +411,11 @@ impl HdIndex {
                 ));
             }
         }
-        let refs = opts.references.unwrap_or_else(|| {
-            reference::select(data, params.num_references, params.ref_selection, params.seed)
-        });
-        let m = refs.m();
-        let n = data.len();
-        let mut ref_dists = vec![0.0f32; n * m];
-        {
-            let mut row = Vec::with_capacity(m);
-            for j in 0..n {
-                refs.distances_to(data.get(j), &mut row);
-                ref_dists[j * m..(j + 1) * m].copy_from_slice(&row);
-            }
-        }
+        let refs = match opts.references {
+            Some(r) => r,
+            None => Self::select_refs_from_source(src, params, metric)?,
+        };
+        let n = src.len();
 
         // 2. Dimension partitioning (contiguous by default, §3.1).
         let partitioning = match params.random_partitioning {
@@ -355,11 +423,8 @@ impl HdIndex {
             None => Partitioning::contiguous(dim, params.tau),
         };
 
-        // 3. One Hilbert curve + RDB-tree per partition.
+        // 3. One Hilbert curve per partition.
         let mut curves = Vec::with_capacity(params.tau);
-        let mut trees = Vec::with_capacity(params.tau);
-        let (lo, hi) = params.domain;
-        let mut sub = Vec::new();
         for g in 0..params.tau {
             let eta = partitioning.group(g).len();
             if eta > 64 {
@@ -371,51 +436,38 @@ impl HdIndex {
                     ),
                 ));
             }
-            let curve = HilbertCurve::new(eta, params.hilbert_order);
-            let key_len = rdb::key_len(curve.key_len());
-            let val_len = rdb::val_len(m);
-
-            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(n);
-            for j in 0..n {
-                partitioning.project_into(data.get(j), g, &mut sub);
-                let hk = curve.encode_floats(&sub, lo, hi);
-                entries.push((
-                    rdb::encode_key(&hk, j as u64),
-                    rdb::encode_value(&ref_dists[j * m..(j + 1) * m]),
-                ));
-            }
-            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-
-            let pager = Pager::create(tree_file(&dir, g, 0))?;
-            let pool = Arc::new(BufferPool::with_budget(
-                pager,
-                params.query_cache_pages,
-                opts.cache_budget.clone(),
-            ));
-            let mut tree = BTree::create(pool, key_len, val_len)?;
-            tree.bulk_load(entries, 1.0)?;
-            curves.push(curve);
-            trees.push(tree);
+            curves.push(HilbertCurve::new(eta, params.hilbert_order));
         }
 
-        // 4. Raw descriptors, fetched by pointer during refinement.
-        let mut heap = VectorHeap::create_budgeted(
-            heap_file(&dir, 0),
-            dim,
-            params.query_cache_pages,
-            opts.cache_budget.clone(),
-        )?;
-        for j in 0..n {
-            heap.append(data.get(j))?;
-        }
+        // 4. Stream heap + τ trees through the out-of-core pipeline.
+        let budget = opts.build_budget.clone().unwrap_or_else(BuildBudget::unbounded);
+        let ctx = build::BuildCtx {
+            params,
+            refs: &refs,
+            partitioning: &partitioning,
+            curves: &curves,
+            dir: &dir,
+            heap_path: heap_file(&dir, 0),
+            tree_paths: (0..params.tau).map(|g| tree_file(&dir, g, 0)).collect(),
+            cache_budget: opts.cache_budget.clone(),
+            budget: budget.clone(),
+            sync: false,
+            scratch_tag: 0,
+        };
+        let artifacts = build::run(&ctx, src, None)?;
+        let build_stats = BuildStats {
+            spilled_runs: artifacts.spilled_runs,
+            spilled_bytes: artifacts.spilled_bytes,
+            scratch_io: artifacts.scratch_io,
+        };
 
         let wal = Wal::create(dir.join(WAL_FILE))?;
         let mut index = Self {
             params: params.clone(),
             partitioning,
             curves,
-            trees,
-            heap,
+            trees: artifacts.trees,
+            heap: artifacts.heap,
             refs,
             tombstones: HashSet::new(),
             dim,
@@ -431,12 +483,62 @@ impl HdIndex {
             write_epoch: 0,
             compactions: 0,
             cache_budget: opts.cache_budget,
+            build_budget: budget,
+            build_stats,
         };
         // The build ends as snapshot 1: data files synced, meta committed,
         // WAL empty.
         index.save()?;
         index.reset_io_stats();
         Ok(index)
+    }
+
+    /// Selects a reference set over a deterministic strided sample of the
+    /// source — build-from-disk cannot hand the full corpus to
+    /// [`reference::select`]. The stride keeps the sample spread over the
+    /// whole corpus (clustered corpora are often written cluster-by-
+    /// cluster, so a prefix would be biased).
+    fn select_refs_from_source(
+        src: &mut dyn VectorSource,
+        params: &HdIndexParams,
+        metric: Metric,
+    ) -> io::Result<ReferenceSet> {
+        const SAMPLE_MAX: usize = 1 << 17;
+        let n = src.len();
+        let stride = n.div_ceil(SAMPLE_MAX).max(1);
+        let mut sample = Dataset::new(src.dim()).with_metric(metric);
+        let mut buf: Vec<f32> = Vec::new();
+        let dim = src.dim();
+        src.reset()?;
+        let mut j = 0usize;
+        loop {
+            let got = src.next_chunk(4096, &mut buf)?;
+            if got == 0 {
+                break;
+            }
+            for (i, v) in buf.chunks_exact(dim).enumerate() {
+                if (j + i).is_multiple_of(stride) {
+                    sample.push(v);
+                }
+            }
+            j += got;
+        }
+        if sample.len() < params.num_references {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "m = {} references from {} objects: need at least one object per \
+                     reference",
+                    params.num_references, n
+                ),
+            ));
+        }
+        Ok(reference::select(
+            &sample,
+            params.num_references,
+            params.ref_selection,
+            params.seed,
+        ))
     }
 
     /// Reopens a previously built index from its directory: metadata, τ
@@ -484,8 +586,10 @@ impl HdIndex {
         let meta = crate::meta::IndexMeta::read(&dir)?;
         // Clear debris of a compaction that crashed before or after its
         // meta-rename commit point — only the generation the meta names is
-        // live.
+        // live — plus any scratch of a build/compaction that died
+        // mid-pipeline.
         remove_stale_generations(&dir, meta.generation)?;
+        build::sweep_tmp(&dir);
         let partitioning = Partitioning::from_groups(meta.dim, meta.groups.clone());
         let refs =
             ReferenceSet::from_parts(meta.ref_ids.clone(), meta.ref_vectors.clone(), meta.metric);
@@ -549,6 +653,8 @@ impl HdIndex {
             write_epoch: 0,
             compactions: 0,
             cache_budget,
+            build_budget: BuildBudget::unbounded(),
+            build_stats: BuildStats::default(),
         };
         index.replay(&records)?;
         index.reset_io_stats();
@@ -1170,6 +1276,11 @@ impl HdIndex {
     /// to disk, ids preserved via the slot→id map. Read-only on the current
     /// state, so searches (and WAL appends) proceed while it runs; nothing
     /// becomes visible until [`Self::apply_compaction`].
+    ///
+    /// Survivors stream through the same out-of-core pipeline as a fresh
+    /// build (DESIGN.md §11), under the [`BuildBudget`] the index was built
+    /// with — compacting a shard much larger than RAM spills sorted runs
+    /// instead of materializing every entry.
     pub fn prepare_compaction(&self) -> io::Result<CompactionPlan> {
         let _s = hd_telemetry::span!("compaction_prepare_nanos");
         let next_gen = self.generation + 1;
@@ -1186,75 +1297,28 @@ impl HdIndex {
                 survivor_ids.push(id);
             }
         }
-
-        // Fetch survivors page-blocked, like refinement does.
-        let dim = self.dim;
         let n = survivor_slots.len();
-        let mut vectors: Vec<f32> = Vec::with_capacity(n * dim);
-        let mut arena: Vec<f32> = Vec::new();
-        let mut i = 0usize;
-        while i < n {
-            let page = self.heap.page_of(survivor_slots[i]);
-            let mut j = i + 1;
-            while j < n && self.heap.page_of(survivor_slots[j]) == page {
-                j += 1;
-            }
-            self.heap.get_block_into(&survivor_slots[i..j], &mut arena)?;
-            vectors.extend_from_slice(&arena[..(j - i) * dim]);
-            i = j;
-        }
 
-        // Reference distances for the leaf payloads. Vectors are already in
-        // index form (normalized at original ingest), so distances_to is
-        // exactly what the original build computed.
-        let m = self.refs.m();
-        let mut ref_dists = vec![0.0f32; n * m];
-        let mut row = Vec::with_capacity(m);
-        for j in 0..n {
-            self.refs.distances_to(&vectors[j * dim..(j + 1) * dim], &mut row);
-            ref_dists[j * m..(j + 1) * m].copy_from_slice(&row);
-        }
-
-        // Bulk-load the next generation's trees and heap, synced before the
-        // plan is handed over — apply only commits metadata.
-        let (lo, hi) = self.params.domain;
-        let mut trees = Vec::with_capacity(self.trees.len());
-        let mut sub = Vec::new();
-        for g in 0..self.trees.len() {
-            let key_len = rdb::key_len(self.curves[g].key_len());
-            let val_len = rdb::val_len(m);
-            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(n);
-            for j in 0..n {
-                self.partitioning
-                    .project_into(&vectors[j * dim..(j + 1) * dim], g, &mut sub);
-                let hk = self.curves[g].encode_floats(&sub, lo, hi);
-                entries.push((
-                    rdb::encode_key(&hk, survivor_ids[j]),
-                    rdb::encode_value(&ref_dists[j * m..(j + 1) * m]),
-                ));
-            }
-            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            let pager = Pager::create(tree_file(&self.dir, g, next_gen))?;
-            let pool = Arc::new(BufferPool::with_budget(
-                pager,
-                self.params.query_cache_pages,
-                self.cache_budget.clone(),
-            ));
-            let mut tree = BTree::create(pool, key_len, val_len)?;
-            tree.bulk_load(entries, 1.0)?;
-            tree.pool().sync()?;
-            trees.push(tree);
-        }
-        let mut heap = VectorHeap::create_budgeted(
-            heap_file(&self.dir, next_gen),
-            dim,
-            self.params.query_cache_pages,
-            self.cache_budget.clone(),
-        )?;
-        for j in 0..n {
-            heap.append(&vectors[j * dim..(j + 1) * dim])?;
-        }
-        heap.pool().sync()?;
+        // Vectors in the heap are already in index form (normalized at
+        // original ingest), so the streamed ref-distances are exactly what
+        // the original build computed.
+        let mut src = build::HeapSurvivorSource::new(&self.heap, &survivor_slots, self.metric);
+        let ctx = build::BuildCtx {
+            params: &self.params,
+            refs: &self.refs,
+            partitioning: &self.partitioning,
+            curves: &self.curves,
+            dir: &self.dir,
+            heap_path: heap_file(&self.dir, next_gen),
+            tree_paths: (0..self.trees.len())
+                .map(|g| tree_file(&self.dir, g, next_gen))
+                .collect(),
+            cache_budget: self.cache_budget.clone(),
+            budget: self.build_budget.clone(),
+            sync: true,
+            scratch_tag: next_gen,
+        };
+        let artifacts = build::run(&ctx, &mut src, Some(&survivor_ids))?;
 
         // When nothing before next_id was ever dropped the map is identity;
         // normalize it back to None so the fast path stays fast.
@@ -1265,8 +1329,13 @@ impl HdIndex {
         Ok(CompactionPlan {
             generation: next_gen,
             epoch: self.write_epoch,
-            trees,
-            heap,
+            build_stats: BuildStats {
+                spilled_runs: artifacts.spilled_runs,
+                spilled_bytes: artifacts.spilled_bytes,
+                scratch_io: artifacts.scratch_io,
+            },
+            trees: artifacts.trees,
+            heap: artifacts.heap,
             id_map,
         })
     }
@@ -1286,6 +1355,7 @@ impl HdIndex {
         self.trees = plan.trees;
         self.heap = plan.heap;
         self.id_map = plan.id_map;
+        self.build_stats = plan.build_stats;
         self.tombstones.clear();
         self.generation = plan.generation;
         self.compactions += 1;
@@ -1373,6 +1443,12 @@ impl HdIndex {
             .sum::<usize>()
             + self.heap.pool().memory_bytes();
         self.refs.memory_bytes() + pools
+    }
+
+    /// Spill/scratch accounting of the most recent streaming build or
+    /// compaction of this index (DESIGN.md §11).
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
     }
 
     /// Leaf order Ω of tree `g` (for Table 3 style reporting).
@@ -1470,6 +1546,7 @@ mod tests {
     use hd_core::dataset::{generate, DatasetProfile};
     use hd_core::ground_truth::ground_truth_knn;
     use hd_core::metrics::{ids, score_workload};
+    use proptest::prelude::*;
 
     fn test_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("hd_index_tests").join(format!(
@@ -1919,5 +1996,86 @@ mod tests {
         let omega = index.leaf_order(0);
         assert!((62..=64).contains(&omega), "leaf order {omega} far from Eq. (4)");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_dataset_build_is_invalid_input() {
+        let dir = test_dir("empty_err");
+        let err = HdIndex::build(&Dataset::new(8), &small_params(), &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn more_trees_than_dims_build_is_invalid_input() {
+        let dir = test_dir("tau_err");
+        let mut data = Dataset::new(4);
+        data.push(&[1.0, 2.0, 3.0, 4.0]);
+        let mut p = small_params();
+        p.tau = 5;
+        p.num_references = 1;
+        let err = HdIndex::build(&data, &p, &dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Builds the same corpus unbounded and under `budget_bytes`, returning
+    /// (per-tree file bytes, spilled runs) for each.
+    #[allow(clippy::type_complexity)]
+    fn build_both_ways(
+        n: usize,
+        seed: u64,
+        budget_bytes: usize,
+        tag: &str,
+    ) -> ((Vec<Vec<u8>>, u64), (Vec<Vec<u8>>, u64)) {
+        let (data, _) = generate(&DatasetProfile::SIFT, n, 1, seed);
+        let p = small_params();
+        let read_trees = |dir: &Path| -> Vec<Vec<u8>> {
+            (0..p.tau)
+                .map(|g| std::fs::read(tree_file(dir, g, 0)).unwrap())
+                .collect()
+        };
+        let dir_a = test_dir(&format!("{tag}_mem"));
+        let mem = HdIndex::build(&data, &p, &dir_a).unwrap();
+        let mem_out = (read_trees(&dir_a), mem.build_stats().spilled_runs);
+        drop(mem);
+        std::fs::remove_dir_all(&dir_a).ok();
+
+        let dir_b = test_dir(&format!("{tag}_ext"));
+        let opts = BuildOpts {
+            build_budget: Some(hd_storage::BuildBudget::new(budget_bytes)),
+            ..BuildOpts::default()
+        };
+        let ext = HdIndex::build_with(&data, &p, &dir_b, opts).unwrap();
+        let ext_out = (read_trees(&dir_b), ext.build_stats().spilled_runs);
+        drop(ext);
+        std::fs::remove_dir_all(&dir_b).ok();
+        (mem_out, ext_out)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The spilling build writes byte-identical tree files to the
+        /// in-memory build for any budget small enough to force spill runs
+        /// — the external sort is invisible in the output (DESIGN.md §11).
+        #[test]
+        fn budgeted_build_trees_match_unbounded_build(
+            n in 200usize..450,
+            seed in 0u64..100,
+            runs_target in 1usize..16,
+        ) {
+            // Budget ≈ the sorter volume of one tree divided by the target
+            // run count (key 40 + val 20 + index 4 bytes per record), so
+            // higher targets force more, smaller runs.
+            let budget = (n * 64 / runs_target).max(4096);
+            let ((mem_trees, mem_runs), (ext_trees, ext_runs)) =
+                build_both_ways(n, seed, budget, &format!("prop_{n}_{seed}_{runs_target}"));
+            prop_assert_eq!(mem_runs, 0, "unbounded build must not spill");
+            prop_assert!(ext_runs > 0, "budget {} too generous to exercise spilling", budget);
+            for (g, (a, b)) in mem_trees.iter().zip(&ext_trees).enumerate() {
+                prop_assert!(a == b, "tree {} differs between build paths", g);
+            }
+        }
     }
 }

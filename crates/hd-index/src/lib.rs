@@ -25,6 +25,7 @@
 //! println!("nearest: {:?}", knn.first());
 //! ```
 
+mod build;
 pub mod config;
 pub mod filters;
 pub mod index;
@@ -33,5 +34,5 @@ pub mod rdb;
 pub mod reference;
 
 pub use config::{FilterKind, HdIndexParams, QueryParams, RefSelection};
-pub use index::{score_candidates_blocked, BuildOpts, HdIndex, QueryTrace};
+pub use index::{score_candidates_blocked, BuildOpts, BuildStats, HdIndex, QueryTrace};
 pub use reference::ReferenceSet;

@@ -72,6 +72,7 @@ fn recall_after_30pct_deletes_matches_rebuilt_index() {
         BuildOpts {
             references: Some(full.references().clone()),
             cache_budget: None,
+            build_budget: None,
         },
     )
     .unwrap();
@@ -196,6 +197,7 @@ fn compaction_matches_survivor_rebuild_across_metrics() {
             BuildOpts {
                 references: Some(index.references().clone()),
                 cache_budget: None,
+                build_budget: None,
             },
         )
         .unwrap();

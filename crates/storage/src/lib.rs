@@ -13,21 +13,28 @@
 //! * [`heap`] — a paged heap file of raw vectors, the "complete object
 //!   descriptors" that step (iii) of the query algorithm fetches by pointer.
 //! * [`budget`] — a shared page-cache quota so a fleet of pools (τ trees ×
-//!   S shards) runs under one memory ceiling.
+//!   S shards) runs under one memory ceiling, plus the byte-denominated
+//!   [`BuildBudget`] that caps streaming-build working memory the same way.
+//! * [`extsort`] — external merge sort of fixed-width records under a
+//!   `BuildBudget`: budget-sized sorted runs spilled to disk, replayed
+//!   through a loser-tree k-way merge, all charged to the IO ledger
+//!   (DESIGN.md §11).
 //! * [`stats`] — logical/physical access counters shared across components.
 //! * [`wal`] — per-shard write-ahead log: checksummed records, fsync-on-
 //!   commit batching, torn-tail-tolerant replay (DESIGN.md §9).
 
 pub mod budget;
 pub mod buffer;
+pub mod extsort;
 pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod stats;
 pub mod wal;
 
-pub use budget::CacheBudget;
+pub use budget::{BuildBudget, BuildReservation, CacheBudget};
 pub use buffer::BufferPool;
+pub use extsort::{ExternalSorter, MergeReader};
 pub use heap::VectorHeap;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pager::Pager;
