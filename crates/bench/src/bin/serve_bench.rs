@@ -1,0 +1,412 @@
+//! serve_bench: served throughput of the HTTP front-end, with and without
+//! cross-request coalescing, against the in-process engine baseline.
+//!
+//! Closed-loop load: C client threads each keep exactly one request in
+//! flight (send → wait → send) for a fixed request count. Three phases over
+//! one engine:
+//!
+//! 1. **direct** — clients call `AnnIndex::search` in-process; no HTTP.
+//!    The ceiling, and the cost floor every served number is judged against.
+//! 2. **passthrough** — real HTTP server, coalescing off: every request is
+//!    its own engine dispatch.
+//! 3. **coalesced** — coalescing on: concurrent requests drain into shared
+//!    engine batches (`max_batch` 8, `max_wait` 500µs).
+//!
+//! The headline claim this bench gates in CI: under ≥ 8 concurrent
+//! closed-loop clients, coalescing must **beat** passthrough on served QPS
+//! — batching amortizes per-dispatch overhead (pool wake-ups, shard lock
+//! traffic, fan-out latches) that passthrough pays per request. The two
+//! served modes run as back-to-back pairs in alternating order and the
+//! gate statistic is the mean of per-round QPS ratios, with adaptive round
+//! counts at CI scale so a near-tie buys more evidence instead of flapping
+//! the gate. The process exits nonzero if the claim fails. `--clients N`
+//! overrides the client count, `--json PATH` writes the checked-in
+//! artifact, `--probe` dumps per-phase telemetry deltas.
+
+use std::io::{BufRead, BufReader, Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use hd_bench::config::BenchConfig;
+use hd_bench::table;
+use hd_core::api::{AnnIndex, SearchRequest};
+use hd_core::dataset::{generate, DatasetProfile};
+use hd_engine::{Engine, EngineParams};
+use hd_index::HdIndexParams;
+use hd_server::{Server, ServerConfig};
+use std::fmt::Write as _;
+
+const BASE_N: usize = 20_000;
+/// Requests per client per phase (scaled, floor keeps statistics honest).
+const BASE_REQUESTS: usize = 3_000;
+const K: usize = 10;
+/// Light point-lookup knobs: a serving front-end's value shows on cheap
+/// queries, where per-dispatch fixed costs (pool wake-ups, reference
+/// distances, lock traffic) are a large fraction of the request and
+/// batching can actually amortize them.
+const CANDIDATES: usize = 32;
+const REFINE: usize = 16;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct Phase {
+    name: &'static str,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Engine dispatches and mean queries per dispatch (HTTP phases only).
+    batches: u64,
+    mean_batch: f64,
+}
+
+/// One request over an open connection; returns latency. Panics on any
+/// non-200 — a load generator that silently counts errors measures nothing.
+fn http_roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request: &[u8],
+) -> f64 {
+    let t0 = Instant::now();
+    writer.write_all(request).expect("write request");
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    assert!(
+        status_line.starts_with("HTTP/1.1 200"),
+        "server answered {status_line:?}"
+    );
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn summarize(
+    name: &'static str,
+    mut latencies: Vec<f64>,
+    wall_secs: f64,
+    batches: u64,
+    queries_batched: u64,
+) -> Phase {
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Phase {
+        name,
+        qps: latencies.len() as f64 / wall_secs,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        batches,
+        mean_batch: if batches > 0 {
+            queries_batched as f64 / batches as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Phase 1: in-process closed loop, no HTTP.
+fn direct_phase(engine: &Arc<Engine>, clients: usize, requests: usize, queries: &[Vec<f32>]) -> Phase {
+    let req = SearchRequest::new(K).with_candidates(CANDIDATES).with_refine(REFINE);
+    let barrier = Barrier::new(clients);
+    let t0 = std::sync::OnceLock::new();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (engine, barrier, t0) = (engine, &barrier, &t0);
+                s.spawn(move || {
+                    barrier.wait();
+                    let _ = t0.set(Instant::now());
+                    let mut lat = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let query = &queries[(c + i * clients) % queries.len()];
+                        let s = Instant::now();
+                        AnnIndex::search(engine.as_ref(), query, &req).expect("direct search");
+                        lat.push(s.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.get().expect("started").elapsed().as_secs_f64();
+    summarize("direct", latencies.concat(), wall, 0, 0)
+}
+
+/// Phases 2 and 3: real TCP clients against a bound server.
+fn served_phase(
+    name: &'static str,
+    engine: &Arc<Engine>,
+    coalescing: bool,
+    clients: usize,
+    requests: usize,
+    bodies: &[Vec<u8>],
+) -> Phase {
+    let config = ServerConfig {
+        coalescing,
+        max_connections: clients,
+        max_batch: 8,
+        max_wait_us: 500,
+        save_on_shutdown: false, // phases share the engine; nothing to persist
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(Arc::clone(engine), config).expect("bind server");
+    let addr: SocketAddr = server.addr();
+    let batches_before = server.state().metrics.batches_total.get();
+    let batched_before = server.state().metrics.batch_size.sum();
+
+    let barrier = Barrier::new(clients);
+    let t0 = std::sync::OnceLock::new();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (barrier, t0) = (&barrier, &t0);
+                s.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    // Warm up the connection (and the engine caches) off
+                    // the clock.
+                    http_roundtrip(&mut reader, &mut writer, &bodies[c % bodies.len()]);
+                    barrier.wait();
+                    let _ = t0.set(Instant::now());
+                    let mut lat = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let body = &bodies[(c + i * clients) % bodies.len()];
+                        lat.push(http_roundtrip(&mut reader, &mut writer, body));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.get().expect("started").elapsed().as_secs_f64();
+    let batches = server.state().metrics.batches_total.get() - batches_before;
+    let batched = server.state().metrics.batch_size.sum() - batched_before;
+    server.shutdown().expect("shutdown");
+    if std::env::args().any(|a| a == "--probe") {
+        let reg = hd_telemetry::global();
+        for m in [
+            "engine_batch_nanos",
+            "engine_fanout_nanos",
+            "engine_merge_nanos",
+            "engine_ref_dists_nanos",
+            "hd_server_request_nanos",
+        ] {
+            let h = reg.histogram(m, "");
+            eprintln!("probe {name} {m}: sum_ms={:.1} count={}", h.sum() as f64 / 1e6, h.count());
+        }
+        eprintln!("probe {name} wall_ms={:.1}", wall * 1e3);
+    }
+    summarize(name, latencies.concat(), wall, batches, batched)
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    hd_bench::telemetry_report::init(&cfg);
+    let json_path = flag_value("--json").map(std::path::PathBuf::from);
+    let clients: usize = flag_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let n = cfg.n(BASE_N);
+    let requests = ((BASE_REQUESTS as f64 * cfg.scale) as usize).max(100);
+
+    let profile = DatasetProfile::SIFT;
+    let (data, queries) = generate(&profile, n, 64, cfg.seed);
+    let queries: Vec<Vec<f32>> = queries.iter().map(|q| q.to_vec()).collect();
+    let scratch = cfg.scratch("serve_bench");
+    let params = EngineParams {
+        // 4 shards, not 2: the per-request fan-out cost passthrough pays
+        // (S pool handoffs + a latch per query) is exactly what coalescing
+        // amortizes, so the A/B contrast this bench gates on needs a
+        // realistic shard count to be visible above scheduler noise.
+        shards: 4,
+        threads: 2,
+        index: HdIndexParams {
+            build_cache_pages: 256,
+            query_cache_pages: 64,
+            ..HdIndexParams::for_profile(&profile)
+        },
+        ..EngineParams::new(HdIndexParams::for_profile(&profile))
+    };
+    let engine = Arc::new(Engine::build(&data, &params, scratch.join("engine")).expect("build"));
+    println!(
+        "serve_bench: n = {n}, dim = {}, {clients} closed-loop clients × {requests} requests/phase, \
+         k = {K}",
+        profile.dim
+    );
+
+    // Pre-rendered request bytes so the load loop measures serving, not
+    // client-side formatting.
+    let bodies: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| {
+            let items: Vec<String> = q.iter().map(|x| format!("{x}")).collect();
+            let body = format!(
+                "{{\"vector\":[{}],\"k\":{K},\"candidates\":{CANDIDATES},\"refine\":{REFINE}}}",
+                items.join(",")
+            );
+            format!(
+                "POST /v1/query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        })
+        .collect();
+
+    // The two served modes alternate in back-to-back pairs, and the gate
+    // statistic is the mean of per-round QPS *ratios*: both halves of a
+    // pair see the same transient machine conditions, so inter-round drift
+    // (thermal, background load) cancels out of the ratio even when it
+    // dominates the absolute numbers. Rounds are adaptive — the loop stops
+    // as soon as the mean ratio is confidently away from 1.0 (|z| ≥ 1.5)
+    // or a cap is hit, so a noisy run buys itself more evidence instead of
+    // flapping a CI gate on a single near-tie.
+    const MIN_ROUNDS: usize = 5;
+    let max_rounds = if requests > 500 { MIN_ROUNDS } else { 31 };
+    let direct = direct_phase(&engine, clients, requests, &queries);
+    let mut passthrough_rounds = Vec::new();
+    let mut coalesced_rounds = Vec::new();
+    let mut ratios: Vec<f64> = Vec::new();
+    let speedup = loop {
+        // Alternate which mode goes first so within-pair warmup drift does
+        // not systematically favor either side of the ratio.
+        let (p, c) = if ratios.len().is_multiple_of(2) {
+            let p = served_phase("passthrough", &engine, false, clients, requests, &bodies);
+            let c = served_phase("coalesced", &engine, true, clients, requests, &bodies);
+            (p, c)
+        } else {
+            let c = served_phase("coalesced", &engine, true, clients, requests, &bodies);
+            let p = served_phase("passthrough", &engine, false, clients, requests, &bodies);
+            (p, c)
+        };
+        ratios.push(c.qps / p.qps);
+        passthrough_rounds.push(p);
+        coalesced_rounds.push(c);
+        let n = ratios.len() as f64;
+        let mean = ratios.iter().sum::<f64>() / n;
+        if ratios.len() >= MIN_ROUNDS {
+            let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            let se = (var / n).sqrt();
+            // Stop early only on a *conclusive* outcome (2 standard errors
+            // from parity); an inconclusive run keeps buying rounds up to
+            // the cap rather than flapping a CI gate on a near-tie. A real
+            // regression still fails fast — confidently worse exits here
+            // too once it has at least 9 rounds behind it.
+            let conclusive_win = mean - 1.0 >= 2.0 * se;
+            let conclusive_loss = 1.0 - mean >= 2.0 * se && ratios.len() >= 9;
+            if ratios.len() >= max_rounds || conclusive_win || conclusive_loss {
+                break mean;
+            }
+        }
+    };
+    let median = |mut rounds: Vec<Phase>| -> Phase {
+        rounds.sort_by(|a, b| a.qps.total_cmp(&b.qps));
+        rounds.remove(rounds.len() / 2)
+    };
+    let phases = [direct, median(passthrough_rounds), median(coalesced_rounds)];
+
+    let widths = [13usize, 10, 10, 10, 9, 11];
+    table::header(
+        "served throughput, closed loop",
+        &["phase", "qps", "p50", "p99", "batches", "mean batch"],
+        &widths,
+    );
+    for p in &phases {
+        table::row(
+            &[
+                p.name.to_string(),
+                format!("{:.0}", p.qps),
+                table::ms(p.p50_ms),
+                table::ms(p.p99_ms),
+                p.batches.to_string(),
+                if p.batches > 0 {
+                    format!("{:.2}", p.mean_batch)
+                } else {
+                    "-".to_string()
+                },
+            ],
+            &widths,
+        );
+    }
+
+    let (direct, passthrough, coalesced) = (&phases[0], &phases[1], &phases[2]);
+    println!(
+        "\nHTTP overhead: passthrough serves {:.0}% of direct QPS; coalescing recovers to {:.0}%",
+        100.0 * passthrough.qps / direct.qps,
+        100.0 * coalesced.qps / direct.qps,
+    );
+    let wins = speedup > 1.0;
+    println!(
+        "coalescing gate ({clients} clients): {} (mean paired speedup {:.3}x over {} rounds, \
+         {:.0} vs {:.0} qps, mean batch {:.2})",
+        if wins { "PASS" } else { "FAIL" },
+        speedup,
+        ratios.len(),
+        coalesced.qps,
+        passthrough.qps,
+        coalesced.mean_batch,
+    );
+
+    if let Some(path) = json_path {
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"bench\": \"serve_bench\",");
+        let _ = writeln!(j, "  \"scale\": {},", cfg.scale);
+        let _ = writeln!(j, "  \"seed\": {},", cfg.seed);
+        let _ = writeln!(j, "  \"n\": {n},");
+        let _ = writeln!(j, "  \"clients\": {clients},");
+        let _ = writeln!(j, "  \"requests_per_client\": {requests},");
+        let _ = writeln!(j, "  \"k\": {K},");
+        let _ = writeln!(j, "  \"phases\": [");
+        for (i, p) in phases.iter().enumerate() {
+            let comma = if i + 1 < phases.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "    {{ \"phase\": \"{}\", \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"batches\": {}, \"mean_batch\": {:.2} }}{comma}",
+                p.name, p.qps, p.p50_ms, p.p99_ms, p.batches, p.mean_batch
+            );
+        }
+        let _ = writeln!(j, "  ],");
+        let _ = writeln!(j, "  \"paired_rounds\": {},", ratios.len());
+        let _ = writeln!(j, "  \"coalescing_speedup\": {speedup:.3},");
+        let _ = writeln!(j, "  \"coalescing_beats_passthrough\": {wins}");
+        j.push_str("}\n");
+        std::fs::write(&path, j).expect("write json");
+        println!("wrote {}", path.display());
+    }
+
+    std::fs::remove_dir_all(&scratch).ok();
+    hd_bench::telemetry_report::report(&cfg);
+    if clients >= 8 && !wins {
+        eprintln!(
+            "serve_bench: coalescing must beat passthrough under {clients} concurrent clients"
+        );
+        std::process::exit(1);
+    }
+}

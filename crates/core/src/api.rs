@@ -82,6 +82,14 @@ pub struct SearchRequest {
     /// Ask the method to fill [`SearchOutput::trace`]. Methods without
     /// instrumentation return `None` regardless.
     pub trace: bool,
+    /// Wall-clock budget for the whole call. Methods that honor it (the
+    /// serving engine, at batch granularity) fail with
+    /// [`io::ErrorKind::TimedOut`] once the budget expires instead of
+    /// completing late — the hook an HTTP front-end needs to turn a slow
+    /// shard into a 504 rather than a hung connection. `None` (the default)
+    /// never times out; methods without a cooperative cancellation point
+    /// ignore the budget (documented per impl).
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl SearchRequest {
@@ -94,6 +102,7 @@ impl SearchRequest {
             refine: None,
             metric: None,
             trace: false,
+            time_budget: None,
         }
     }
 
@@ -119,6 +128,12 @@ impl SearchRequest {
     /// Requests a [`SearchTrace`] alongside the neighbors.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Caps the call's wall time ([`SearchRequest::time_budget`]).
+    pub fn with_time_budget(mut self, budget: std::time::Duration) -> Self {
+        self.time_budget = Some(budget);
         self
     }
 }
@@ -472,12 +487,14 @@ mod tests {
             .with_candidates(256)
             .with_refine(64)
             .with_metric(Metric::Cosine)
-            .with_trace();
+            .with_trace()
+            .with_time_budget(std::time::Duration::from_millis(250));
         assert_eq!(req.k, 7);
         assert_eq!(req.candidates, Some(256));
         assert_eq!(req.refine, Some(64));
         assert_eq!(req.metric, Some(Metric::Cosine));
         assert!(req.trace);
+        assert_eq!(req.time_budget, Some(std::time::Duration::from_millis(250)));
     }
 
     #[test]

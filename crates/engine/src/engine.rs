@@ -53,6 +53,32 @@ pub struct Engine {
     serve: QueryParams,
 }
 
+/// Aggregated serving-health snapshot ([`Engine::health`]): per-shard
+/// openness, compaction backlog, and WAL state rolled into one verdict a
+/// `/healthz` endpoint can map onto 200/503.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineHealth {
+    /// Shards probed (all of them — the probe blocks on each read lock).
+    pub shards: usize,
+    /// Shards with a background compaction currently in flight.
+    pub compacting_shards: usize,
+    /// Shards at or above the judging threshold with no compaction running
+    /// for them. `0` when no threshold is configured.
+    pub compaction_backlog: usize,
+    /// Worst per-shard tombstone density, in `[0, 1]`.
+    pub max_tombstone_density: f64,
+    /// Committed WAL bytes across shards that a reopen would replay —
+    /// writes applied but not yet snapshotted by [`Engine::save`].
+    pub wal_tail_bytes: u64,
+    /// Live (non-tombstoned) objects across shards.
+    pub live_len: u64,
+    /// The verdict: `false` means admission control should stop sending
+    /// traffic (see [`Engine::health_against`] for the exact rule).
+    pub healthy: bool,
+    /// Human-readable reason, `"ok"` when healthy.
+    pub status: String,
+}
+
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
@@ -123,11 +149,36 @@ impl Engine {
     where
         I: IntoIterator<Item = &'q [f32]>,
     {
+        self.search_batch_deadline(queries, qp, None)
+    }
+
+    /// [`Self::search_batch`] with an optional wall-clock deadline, honored
+    /// at **batch granularity**: the deadline is checked before the fan-out
+    /// and again as each shard task is picked up by a pool worker, so a
+    /// batch queued behind slow work fails fast with
+    /// [`io::ErrorKind::TimedOut`] instead of hanging the caller while
+    /// every remaining shard task still grinds through. A task already
+    /// inside `knn_with_ref_dists` runs to completion — the check is
+    /// cooperative, not preemptive.
+    pub fn search_batch_deadline<'q, I>(
+        &self,
+        queries: I,
+        qp: &QueryParams,
+        deadline: Option<Instant>,
+    ) -> io::Result<Vec<Vec<Neighbor>>>
+    where
+        I: IntoIterator<Item = &'q [f32]>,
+    {
         let mut queries: Vec<&[f32]> = queries.into_iter().collect();
         if queries.is_empty() {
             return Ok(Vec::new());
         }
         let t0 = Instant::now();
+        let timed_out =
+            || io::Error::new(io::ErrorKind::TimedOut, "batch exceeded its time budget");
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(timed_out());
+        }
         let s_count = self.set.shards.len();
 
         // Metric preparation: normalize each query once per *batch* (not
@@ -161,41 +212,59 @@ impl Engine {
                 .collect()
         };
 
+        // One task per *shard*, not per (query, shard): the task sweeps the
+        // whole batch against its shard under a single read-lock
+        // acquisition. This is what makes server-side coalescing pay off —
+        // a batch of B costs S pool handoffs and one latch instead of B·S
+        // handoffs and B latches, so the per-query dispatch overhead
+        // amortizes toward zero as batches fill. Slots are shard-major:
+        // slot (si, qi) lives at si·B + qi.
+        let b = queries.len();
+        let queries = &queries;
+        let q_dists = &q_dists;
         let mut slots: Vec<Option<io::Result<Vec<Neighbor>>>> =
-            (0..queries.len() * s_count).map(|_| None).collect();
+            (0..b * s_count).map(|_| None).collect();
         // Opened on the calling thread around the whole fan-out (the pool
         // threads' own work lands in the shard_* histograms instead).
         let fanout_span = hd_telemetry::span!("engine_fanout_nanos");
         self.pool
-            .run_scoped(slots.iter_mut().enumerate().map(|(idx, slot)| {
-                let (qi, si) = (idx / s_count, idx % s_count);
-                let query = queries[qi];
-                let q_dists = &q_dists[qi];
+            .run_scoped(slots.chunks_mut(b).enumerate().map(|(si, shard_slots)| {
                 let shard = &self.set.shards[si];
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let result = shard
-                        .index
-                        .read()
-                        .knn_with_ref_dists(query, q_dists, qp)
-                        .map(|mut neighbors| {
-                            for nb in &mut neighbors {
-                                nb.id = global_of(si, nb.id, s_count as u64);
-                            }
-                            neighbors
-                        });
-                    *slot = Some(result);
+                    let index = shard.index.read();
+                    for (qi, slot) in shard_slots.iter_mut().enumerate() {
+                        // Expired budget: bail before touching the shard so
+                        // one slow shard cannot hold the whole batch hostage
+                        // — the remaining queries all fail fast and the
+                        // caller gets TimedOut as soon as the latch opens.
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            *slot = Some(Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "batch exceeded its time budget",
+                            )));
+                            continue;
+                        }
+                        let result = index
+                            .knn_with_ref_dists(queries[qi], &q_dists[qi], qp)
+                            .map(|mut neighbors| {
+                                for nb in &mut neighbors {
+                                    nb.id = global_of(si, nb.id, s_count as u64);
+                                }
+                                neighbors
+                            });
+                        *slot = Some(result);
+                    }
                 });
                 (si, task)
             }));
         drop(fanout_span);
 
         let merge_span = hd_telemetry::span!("engine_merge_nanos");
-        let mut answers = Vec::with_capacity(queries.len());
-        let mut slots = slots.into_iter();
-        for _ in 0..queries.len() {
+        let mut answers = Vec::with_capacity(b);
+        for qi in 0..b {
             let mut tk = TopK::new(qp.k);
-            for _ in 0..s_count {
-                let shard_answer = slots.next().expect("B·S slots").expect("pool completed")?;
+            for si in 0..s_count {
+                let shard_answer = slots[si * b + qi].take().expect("pool completed")?;
                 for nb in shard_answer {
                     tk.push(nb);
                 }
@@ -245,6 +314,18 @@ impl Engine {
 
     /// Tombstones a global id so it is never returned again. May schedule a
     /// background compaction (see [`EngineParams::compaction_threshold`]).
+    /// Whether `global_id` is stored and not tombstoned — what a search
+    /// can still return. The serving layer uses this to distinguish "never
+    /// existed / already deleted" (404) from a failed delete.
+    pub fn contains_live(&self, global_id: u64) -> bool {
+        let n = *self.append_gate.lock();
+        if global_id >= n {
+            return false;
+        }
+        let (si, local) = shard_of(global_id, self.set.shards.len() as u64);
+        self.set.shards[si].index.read().is_live(local)
+    }
+
     pub fn delete(&self, global_id: u64) -> io::Result<()> {
         {
             let n = self.append_gate.lock();
@@ -364,6 +445,66 @@ impl Engine {
             }
         }
         Ok(rebuilt)
+    }
+
+    /// One aggregated "can this engine serve?" view for health endpoints,
+    /// using the engine's own compaction threshold as the backlog yardstick.
+    /// See [`Self::health_against`] for the semantics.
+    pub fn health(&self) -> EngineHealth {
+        self.health_against(self.compaction_threshold)
+    }
+
+    /// [`Self::health`] judged against an explicit tombstone-density
+    /// `threshold` (tests use this to probe verdicts the engine's own
+    /// configuration would immediately repair).
+    ///
+    /// Aggregates, per shard: openness (the read lock is acquired and the
+    /// shard answers basic accessors — a shard wedged behind a poisoned
+    /// write path would block here, which is exactly what a health probe
+    /// should observe), compaction backlog (shards at or above `threshold`
+    /// with no compaction in flight for them), and WAL state (committed
+    /// bytes an open would replay, i.e. writes not yet snapshotted).
+    ///
+    /// The verdict is `healthy = false` only when **every** shard is
+    /// backlogged and none is compacting: maintenance has demonstrably
+    /// stopped keeping up, so admission control should shed load. Tombstone
+    /// debt on some shards degrades recall/latency but the engine still
+    /// serves — that state stays `healthy = true` with the numbers exposed
+    /// for dashboards to alarm on.
+    pub fn health_against(&self, threshold: Option<f64>) -> EngineHealth {
+        let mut health = EngineHealth {
+            shards: self.set.shards.len(),
+            compacting_shards: 0,
+            compaction_backlog: 0,
+            max_tombstone_density: 0.0,
+            wal_tail_bytes: 0,
+            live_len: 0,
+            healthy: true,
+            status: String::new(),
+        };
+        for shard in &self.set.shards {
+            let compacting = shard.compacting.load(Ordering::Acquire);
+            let index = shard.index.read();
+            let density = index.tombstone_density();
+            health.compacting_shards += usize::from(compacting);
+            health.max_tombstone_density = health.max_tombstone_density.max(density);
+            health.wal_tail_bytes += index.wal_tail_bytes();
+            health.live_len += index.live_len() as u64;
+            if threshold.is_some_and(|t| density >= t) && !compacting {
+                health.compaction_backlog += 1;
+            }
+        }
+        if health.compaction_backlog == health.shards {
+            health.healthy = false;
+            health.status = format!(
+                "every shard is above the compaction threshold (max density {:.3}) and no \
+                 compaction is running",
+                health.max_tombstone_density
+            );
+        } else {
+            health.status = "ok".to_string();
+        }
+        health
     }
 
     /// Whether any background shard compaction is currently in flight.
@@ -488,10 +629,16 @@ impl AnnIndex for Engine {
     }
 
     /// One-query batch through the sharded pipeline; `candidates` → α per
-    /// RDB-tree of every shard, `refine` → γ.
+    /// RDB-tree of every shard, `refine` → γ, `time_budget` → batch-level
+    /// deadline ([`Engine::search_batch_deadline`]).
     fn search_core(&self, query: &[f32], req: &SearchRequest) -> io::Result<SearchOutput> {
         let qp = self.serve.resolve(req, self.len() as usize);
-        Ok(SearchOutput::from_neighbors(Engine::search(self, query, &qp)?))
+        let deadline = req.time_budget.map(|b| Instant::now() + b);
+        Ok(SearchOutput::from_neighbors(
+            self.search_batch_deadline(std::iter::once(query), &qp, deadline)?
+                .pop()
+                .expect("one answer per query"),
+        ))
     }
 
     /// True batched execution: B·S shard tasks on the engine's worker pool,
@@ -516,7 +663,8 @@ impl AnnIndex for Engine {
             return Ok(queries.iter().map(|_| SearchOutput::default()).collect());
         }
         let qp = self.serve.resolve(&SearchRequest { k, ..*req }, self.len() as usize);
-        let answers = Engine::search_batch(self, queries.iter().copied(), &qp)?;
+        let deadline = req.time_budget.map(|b| Instant::now() + b);
+        let answers = self.search_batch_deadline(queries.iter().copied(), &qp, deadline)?;
         Ok(answers.into_iter().map(SearchOutput::from_neighbors).collect())
     }
 

@@ -43,7 +43,7 @@ pub mod metrics;
 pub mod shard;
 
 pub use config::EngineParams;
-pub use engine::Engine;
+pub use engine::{Engine, EngineHealth};
 // Compatibility re-export: the histogram grew into the workspace-wide
 // telemetry crate in PR 7; existing `hd_engine::LatencyHistogram` users
 // keep compiling unchanged.

@@ -769,6 +769,12 @@ impl HdIndex {
         }
     }
 
+    /// Whether object `id` is stored *and* not tombstoned — i.e. a query
+    /// can still return it.
+    pub fn is_live(&self, id: u64) -> bool {
+        self.contains_id(id) && !self.tombstones.contains(&id)
+    }
+
 
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -1221,6 +1227,13 @@ impl HdIndex {
     /// when autocommit is off. Returns the committed byte position.
     pub fn commit_wal(&self) -> io::Result<u64> {
         self.wal.commit()
+    }
+
+    /// Committed WAL bytes the next open would have to replay — `0` right
+    /// after a snapshot emptied the log. A persistently growing tail means
+    /// nobody is calling [`Self::save`]; health checks surface it.
+    pub fn wal_tail_bytes(&self) -> u64 {
+        self.wal.position()
     }
 
     /// Write-path counters (WAL traffic, recovery, compactions) surfaced

@@ -1,0 +1,345 @@
+//! Cross-request dynamic batching.
+//!
+//! The engine's batched path ([`hd_engine::Engine::search_batch`]) amortizes
+//! fan-out overhead across queries, but an HTTP server receives queries one
+//! connection at a time. The coalescer closes that gap: connection handlers
+//! park single queries on a bounded queue and block on a response slot; one
+//! dispatcher thread drains the queue into engine batches under a
+//! flush-at-`max_batch`-or-`max_wait` policy, then fills every slot.
+//!
+//! Correctness rules:
+//!
+//! * Only queries with identical knobs (`k`, `candidates`, `refine`,
+//!   `metric`) share a batch — the engine call takes one parameter set, and
+//!   silently upgrading a request's budgets would change its answer.
+//! * The engine-call deadline is the **latest** member deadline, so one
+//!   tight request cannot abort its batch-mates; expiry is re-checked per
+//!   member afterwards, and only the expired ones fail with `TimedOut`.
+//! * Backpressure counts *undispatched* queries (queue + forming batch):
+//!   [`Coalescer::submit`] refuses at `queue_capacity` so a stalled engine
+//!   turns into fast 503s instead of unbounded buffering.
+//!
+//! Shutdown drains: after [`Coalescer::shutdown`] no new query is accepted,
+//! but everything already queued is dispatched and answered before the
+//! dispatcher exits — an in-flight request never observes a dropped slot.
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hd_core::api::{AnnIndex, SearchRequest};
+use hd_core::topk::Neighbor;
+use hd_engine::Engine;
+
+use crate::metrics::ServerMetrics;
+
+/// Why [`Coalescer::submit`] refused a query.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `queue_capacity` undispatched queries are already parked → 503.
+    Full,
+    /// [`Coalescer::shutdown`] has begun → 503.
+    ShuttingDown,
+}
+
+struct Slot {
+    result: Mutex<Option<io::Result<Vec<Neighbor>>>>,
+    ready: Condvar,
+}
+
+/// A claim on one parked query's answer; [`Ticket::wait`] blocks until the
+/// dispatcher fills the slot.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    pub fn wait(self) -> io::Result<Vec<Neighbor>> {
+        let mut guard = self.slot.result.lock().unwrap();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            // The dispatcher always fills slots, including on shutdown; the
+            // timeout is a last-resort guard against a dispatcher that died
+            // mid-batch (a panic in the engine call).
+            let (g, timed_out) = self
+                .slot
+                .ready
+                .wait_timeout(guard, Duration::from_secs(60))
+                .unwrap();
+            guard = g;
+            if timed_out.timed_out() && guard.is_none() {
+                return Err(io::Error::other("coalescer dispatcher went away"));
+            }
+        }
+    }
+}
+
+struct Pending {
+    vector: Vec<f32>,
+    req: SearchRequest,
+    /// Absolute expiry derived from `req.time_budget` at submit time — the
+    /// clock starts when the query is accepted, queueing time included.
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
+}
+
+/// Batch-compatibility key: queries coalesce only when the whole parameter
+/// set matches (the engine call takes exactly one).
+fn knob_key(req: &SearchRequest) -> (usize, Option<usize>, Option<usize>, Option<hd_core::metric::Metric>) {
+    (req.k, req.candidates, req.refine, req.metric)
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    queue: Mutex<VecDeque<Pending>>,
+    arrivals: Condvar,
+    /// Undispatched queries: queue + the dispatcher's forming batch. The
+    /// backpressure bound — decremented only when a batch is handed to the
+    /// engine, so "draining into the forming batch" does not free capacity.
+    pending: AtomicUsize,
+    /// Queue length at which the dispatcher wants to be woken: 1 while it
+    /// waits for a first query, `max_batch - batch.len()` while it gathers,
+    /// `usize::MAX` while it is busy dispatching. Submitters skip the
+    /// condvar notify below this threshold — waking the dispatcher once per
+    /// arrival just burns context switches it will spend re-checking a
+    /// batch it already knows is short, and the `max_wait` timeout bounds
+    /// the cost of a skipped wake in the worst case.
+    wanted: AtomicUsize,
+    stop: AtomicBool,
+    capacity: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    metrics: ServerMetrics,
+}
+
+/// The coalescer: a bounded queue of parked queries plus the dispatcher
+/// thread that batches them into the engine.
+pub struct Coalescer {
+    shared: Arc<Shared>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Coalescer {
+    /// Spawns the dispatcher. `max_wait_us` bounds how long the oldest
+    /// parked query waits for batch-mates.
+    pub fn start(
+        engine: Arc<Engine>,
+        capacity: usize,
+        max_batch: usize,
+        max_wait_us: u64,
+        metrics: ServerMetrics,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            arrivals: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            wanted: AtomicUsize::new(1),
+            stop: AtomicBool::new(false),
+            capacity: capacity.max(1),
+            max_batch: max_batch.max(1),
+            max_wait: Duration::from_micros(max_wait_us),
+            metrics,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hd-server-dispatch".to_string())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawn coalescer dispatcher")
+        };
+        Coalescer {
+            shared,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Parks one query. The returned [`Ticket`] blocks the calling
+    /// connection handler until the dispatcher answers.
+    pub fn submit(&self, vector: Vec<f32>, req: SearchRequest) -> Result<Ticket, SubmitError> {
+        if self.shared.stop.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        // Reserve capacity first; a full queue must not allocate anything.
+        let mut current = self.shared.pending.load(Ordering::Relaxed);
+        loop {
+            if current >= self.shared.capacity {
+                return Err(SubmitError::Full);
+            }
+            match self.shared.pending.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        self.shared.metrics.queue_depth.set((current + 1) as f64);
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let pending = Pending {
+            vector,
+            deadline: req.time_budget.map(|b| Instant::now() + b),
+            req,
+            slot: Arc::clone(&slot),
+        };
+        let depth = {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.push_back(pending);
+            queue.len()
+        };
+        if depth >= self.shared.wanted.load(Ordering::Acquire) {
+            self.shared.arrivals.notify_one();
+        }
+        Ok(Ticket { slot })
+    }
+
+    /// Stops accepting, drains everything already queued, and joins the
+    /// dispatcher. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.arrivals.notify_all();
+        if let Some(handle) = self.dispatcher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Coalescer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn fill(slot: &Slot, result: io::Result<Vec<Neighbor>>) {
+    *slot.result.lock().unwrap() = Some(result);
+    slot.ready.notify_all();
+}
+
+fn clone_io(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    loop {
+        // Phase 1: wait for a first query (or exit once stopped and empty).
+        shared.wanted.store(1, Ordering::Release);
+        let first = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(p) = queue.pop_front() {
+                    break Some(p);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .arrivals
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap()
+                    .0;
+            }
+        };
+        let Some(first) = first else {
+            return;
+        };
+
+        // Phase 2: gather compatible batch-mates until the batch is full,
+        // the oldest member has waited `max_wait`, or shutdown flushes.
+        let since = Instant::now();
+        let key = knob_key(&first.req);
+        let mut batch = vec![first];
+        loop {
+            let mut queue = shared.queue.lock().unwrap();
+            let mut index = 0;
+            while batch.len() < shared.max_batch && index < queue.len() {
+                if knob_key(&queue[index].req) == key {
+                    batch.push(queue.remove(index).expect("indexed element exists"));
+                } else {
+                    index += 1;
+                }
+            }
+            if batch.len() >= shared.max_batch || shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let waited = since.elapsed();
+            if waited >= shared.max_wait {
+                break;
+            }
+            // Only a queue deep enough to finish the batch is worth a wake;
+            // the residual `max_wait` timeout flushes short batches.
+            shared
+                .wanted
+                .store(shared.max_batch - batch.len(), Ordering::Release);
+            drop(
+                shared
+                    .arrivals
+                    .wait_timeout(queue, shared.max_wait - waited)
+                    .unwrap(),
+            );
+        }
+        // Dispatching now: arrivals cannot influence this batch, so spare
+        // submitters the notify until the loop comes back around.
+        shared.wanted.store(usize::MAX, Ordering::Release);
+
+        // The batch is now the engine's problem: free its capacity.
+        let remaining = shared.pending.fetch_sub(batch.len(), Ordering::AcqRel) - batch.len();
+        shared.metrics.queue_depth.set(remaining as f64);
+        dispatch(shared, batch);
+    }
+}
+
+fn dispatch(shared: &Shared, batch: Vec<Pending>) {
+    shared.metrics.batches_total.inc();
+    shared.metrics.batch_size.record(batch.len() as u64);
+    if batch.len() > 1 {
+        shared.metrics.coalesced_total.add(batch.len() as u64);
+    } else {
+        shared.metrics.passthrough_total.inc();
+    }
+
+    let refs: Vec<&[f32]> = batch.iter().map(|p| p.vector.as_slice()).collect();
+    let mut req = batch[0].req;
+    // Latest member deadline: a tight request must not abort the batch, it
+    // just gets its own TimedOut below.
+    req.time_budget = if batch.iter().all(|p| p.deadline.is_some()) {
+        let latest = batch
+            .iter()
+            .filter_map(|p| p.deadline)
+            .max()
+            .expect("non-empty batch");
+        Some(latest.saturating_duration_since(Instant::now()))
+    } else {
+        None
+    };
+
+    match AnnIndex::search_batch(shared.engine.as_ref(), &refs, &req) {
+        Ok(outputs) => {
+            let finished = Instant::now();
+            for (pending, output) in batch.iter().zip(outputs) {
+                let result = match pending.deadline {
+                    Some(deadline) if finished > deadline => Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "query exceeded its time budget while batched",
+                    )),
+                    _ => Ok(output.neighbors),
+                };
+                fill(&pending.slot, result);
+            }
+        }
+        Err(e) => {
+            for pending in &batch {
+                fill(&pending.slot, Err(clone_io(&e)));
+            }
+        }
+    }
+}

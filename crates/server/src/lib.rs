@@ -1,0 +1,59 @@
+//! # hd-server — an HTTP serving front-end with cross-request batching.
+//!
+//! The engine's throughput story (PR 5) is batching: B queries amortize
+//! fan-out, reference-distance computation, and pool wake-ups. An HTTP
+//! server naturally un-batches — each client connection delivers one query
+//! at a time — so a naive front-end forfeits exactly the advantage the
+//! engine was built for. This crate serves [`hd_engine::Engine`] over
+//! HTTP/1.1 and wins the batching back at the door:
+//!
+//! * [`coalescer`] — concurrent single-query requests park on a bounded
+//!   queue; a dispatcher thread drains them into one
+//!   [`hd_engine::Engine::search_batch`] call under a
+//!   flush-at-`max_batch`-or-`max_wait` policy. Results are id-identical
+//!   to direct calls (same engine path, grouped only with identical knobs).
+//! * [`routes`] — `GET /healthz` (engine health → 200/503), `GET /v1/info`,
+//!   `POST /v1/query` (single and batch bodies, per-request `k` /
+//!   `candidates` / `refine` / `metric` / `timeout_ms`), `POST /v1/records`
+//!   and `DELETE /v1/records/{id}` riding the engine's write path, and
+//!   `GET /metrics` in Prometheus exposition format.
+//! * Admission control — bounded-queue backpressure (503 + `Retry-After`),
+//!   a per-client token bucket (429, keyed by `X-Api-Key` or peer IP), body
+//!   caps (413), and per-request deadlines (504).
+//! * [`Server::shutdown`] — stop accepting, drain every in-flight request
+//!   and parked query, snapshot the engine.
+//!
+//! The transport is the vendored std-only [`minihttp`] codec: HTTP/1.1
+//! keep-alive with explicit `Content-Length`, no TLS, no chunking — the
+//! protocol slice a reproduction's serving benchmark actually exercises.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use hd_core::dataset::{generate, DatasetProfile};
+//! use hd_engine::{Engine, EngineParams};
+//! use hd_index::HdIndexParams;
+//! use hd_server::{Server, ServerConfig};
+//!
+//! let profile = DatasetProfile::SIFT;
+//! let (data, _) = generate(&profile, 10_000, 0, 42);
+//! let params = EngineParams::new(HdIndexParams::for_profile(&profile));
+//! let engine = Arc::new(Engine::build(&data, &params, "/tmp/hd_serve_demo").unwrap());
+//! let server = Server::bind(engine, ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! // … curl -s localhost:PORT/v1/query -d '{"vector":[…],"k":10}' …
+//! server.shutdown().unwrap();
+//! ```
+
+pub mod coalescer;
+pub mod config;
+pub mod dto;
+pub mod limiter;
+pub mod metrics;
+pub mod routes;
+pub mod server;
+
+pub use coalescer::{Coalescer, SubmitError, Ticket};
+pub use config::ServerConfig;
+pub use limiter::RateLimiter;
+pub use metrics::ServerMetrics;
+pub use server::{Server, ServerState};

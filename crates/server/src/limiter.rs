@@ -1,0 +1,98 @@
+//! Per-client token-bucket rate limiting.
+//!
+//! One bucket per client key — the `X-Api-Key` header when present, the
+//! peer IP otherwise — refilled continuously at `qps` tokens/second up to
+//! a `burst` cap. A request costs one token; an empty bucket yields the
+//! number of whole seconds until a token exists, which the caller turns
+//! into `429` + `Retry-After`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// Token-bucket limiter keyed by client identity. `qps <= 0` disables it
+/// (every check passes).
+pub struct RateLimiter {
+    qps: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+/// Keep this many clients at most; beyond it, buckets idle longer than a
+/// minute are evicted (an evicted client restarts with a full burst).
+const MAX_CLIENTS: usize = 4096;
+
+impl RateLimiter {
+    pub fn new(qps: f64, burst: f64) -> Self {
+        RateLimiter {
+            qps,
+            burst: burst.max(1.0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Spends one token for `key`. `Err(secs)` = over the limit, retry
+    /// after that many seconds (≥ 1).
+    pub fn check(&self, key: &str) -> Result<(), u64> {
+        if self.qps <= 0.0 {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap();
+        if buckets.len() >= MAX_CLIENTS && !buckets.contains_key(key) {
+            buckets.retain(|_, b| now.duration_since(b.refilled).as_secs() < 60);
+        }
+        let bucket = buckets.entry(key.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            refilled: now,
+        });
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.qps).min(self.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(((1.0 - bucket.tokens) / self.qps).ceil().max(1.0) as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_limiter_always_passes() {
+        let limiter = RateLimiter::new(0.0, 1.0);
+        for _ in 0..100 {
+            assert!(limiter.check("anyone").is_ok());
+        }
+    }
+
+    #[test]
+    fn burst_then_throttle_per_key() {
+        let limiter = RateLimiter::new(1.0, 3.0);
+        for i in 0..3 {
+            assert!(limiter.check("a").is_ok(), "burst request {i}");
+        }
+        let retry = limiter.check("a").unwrap_err();
+        assert!(retry >= 1, "retry-after must be at least a second");
+        // A different client has its own bucket.
+        assert!(limiter.check("b").is_ok());
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let limiter = RateLimiter::new(1000.0, 1.0);
+        assert!(limiter.check("a").is_ok());
+        assert!(limiter.check("a").is_err(), "bucket of one is empty");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(limiter.check("a").is_ok(), "10ms at 1000 qps refills");
+    }
+}

@@ -1,0 +1,83 @@
+//! Server metrics, registered once in the process-global
+//! [`hd_telemetry`] registry and exposed verbatim on `GET /metrics`.
+
+use std::sync::Arc;
+
+use hd_telemetry::{Counter, Gauge, LatencyHistogram};
+
+/// Handles to every `hd_server_*` metric. Cloning clones the handles, not
+/// the metrics — all clones point at the same registry entries.
+#[derive(Clone)]
+pub struct ServerMetrics {
+    /// Requests received, any route, any outcome.
+    pub requests_total: Counter,
+    /// Wall-clock per request, nanoseconds, route handling only (excludes
+    /// socket reads).
+    pub request_nanos: Arc<LatencyHistogram>,
+    /// Queries currently parked in the coalescer (queue + forming batch).
+    pub queue_depth: Gauge,
+    /// Queries per engine dispatch — the coalescing evidence: values > 1
+    /// mean cross-request batches actually formed.
+    pub batch_size: Arc<LatencyHistogram>,
+    /// Engine dispatches issued by the coalescer.
+    pub batches_total: Counter,
+    /// Queries served through a coalesced (size > 1) batch.
+    pub coalesced_total: Counter,
+    /// Queries served by a direct engine call (coalescing off, or explicit
+    /// batch bodies).
+    pub passthrough_total: Counter,
+    /// Requests refused with 429 by the per-client token bucket.
+    pub throttled_total: Counter,
+    /// Requests refused with 503 by coalescer backpressure.
+    pub overload_total: Counter,
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        let registry = hd_telemetry::global();
+        ServerMetrics {
+            requests_total: registry.counter(
+                "hd_server_requests_total",
+                "HTTP requests received",
+            ),
+            request_nanos: registry.histogram(
+                "hd_server_request_nanos",
+                "Per-request handling latency in nanoseconds",
+            ),
+            queue_depth: registry.gauge(
+                "hd_server_queue_depth",
+                "Queries parked in the coalescer",
+            ),
+            batch_size: registry.histogram(
+                "hd_server_batch_size",
+                "Queries per coalesced engine dispatch",
+            ),
+            batches_total: registry.counter(
+                "hd_server_batches_total",
+                "Engine dispatches issued by the coalescer",
+            ),
+            coalesced_total: registry.counter(
+                "hd_server_coalesced_queries_total",
+                "Queries served through a batch of size > 1",
+            ),
+            passthrough_total: registry.counter(
+                "hd_server_passthrough_queries_total",
+                "Queries served by a direct engine call",
+            ),
+            throttled_total: registry.counter(
+                "hd_server_throttled_total",
+                "Requests refused with 429 (rate limit)",
+            ),
+            overload_total: registry.counter(
+                "hd_server_overload_total",
+                "Requests refused with 503 (queue full)",
+            ),
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -139,21 +139,9 @@ pub fn uninstall_events() -> u64 {
     }
 }
 
-fn escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
+// String escaping is the shared JSON module's — one implementation for the
+// event log, the exposition, and the server DTOs.
+use crate::json::{escape_into, render_number};
 
 /// Emits one structured event. Cheap no-op (one atomic load) while the log
 /// is not installed. `fields` render as extra JSON keys on the line.
@@ -205,8 +193,7 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)
         match value {
             FieldValue::U64(v) => line.push_str(&v.to_string()),
             FieldValue::I64(v) => line.push_str(&v.to_string()),
-            FieldValue::F64(v) if v.is_finite() => line.push_str(&v.to_string()),
-            FieldValue::F64(_) => line.push_str("null"),
+            FieldValue::F64(v) => render_number(&mut line, *v),
             FieldValue::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
             FieldValue::Str(v) => {
                 line.push('"');

@@ -11,6 +11,9 @@
 //!   [`set_enabled`]; the disabled path is one relaxed atomic load.
 //! - **Events** ([`event!`], [`install_events`]): a structured JSONL log
 //!   with levels, per-target overrides, and per-target rate limiting.
+//! - **JSON** ([`json`]): the shared std-only JSON tree, writer, and strict
+//!   parser (depth/size limits) behind the JSON exposition, the event log's
+//!   escaping, and the HTTP serving front-end's DTOs.
 //!
 //! ```
 //! hd_telemetry::set_enabled(true);
@@ -25,6 +28,7 @@
 
 mod events;
 mod histogram;
+pub mod json;
 mod registry;
 mod span;
 

@@ -201,40 +201,44 @@ impl MetricsRegistry {
 
     /// JSON snapshot: one object per metric keyed by name, with `type` and
     /// the current value(s). Histograms include count/sum/mean/quantiles.
+    /// Built on the shared [`crate::json`] writer, so the output is always
+    /// reparseable by the shared strict parser (tested below).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{");
+        use crate::json::Json;
         let entries = self.entries.lock().unwrap();
-        for (i, (name, entry)) in entries.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{name}\":");
-            match &entry.metric {
-                Metric::Counter(c) => {
-                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{}}}", c.get());
-                }
+        let mut metrics: Vec<(String, Json)> = Vec::with_capacity(entries.len());
+        for (name, entry) in entries.iter() {
+            let fields = match &entry.metric {
+                Metric::Counter(c) => vec![
+                    ("type".to_string(), Json::Str("counter".to_string())),
+                    ("value".to_string(), Json::Num(c.get() as f64)),
+                ],
                 Metric::Gauge(g) => {
                     let v = g.get();
-                    let v = if v.is_finite() { v } else { 0.0 };
-                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{v}}}");
+                    vec![
+                        ("type".to_string(), Json::Str("gauge".to_string())),
+                        ("value".to_string(), Json::Num(if v.is_finite() { v } else { 0.0 })),
+                    ]
                 }
                 Metric::Histogram(h) => {
-                    let _ = write!(
-                        out,
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{:.1}",
-                        h.count(),
-                        h.sum(),
-                        h.mean()
-                    );
+                    let mut fields = vec![
+                        ("type".to_string(), Json::Str("histogram".to_string())),
+                        ("count".to_string(), Json::Num(h.count() as f64)),
+                        ("sum".to_string(), Json::Num(h.sum() as f64)),
+                        ("mean".to_string(), Json::Num((h.mean() * 10.0).round() / 10.0)),
+                    ];
                     for (q, _) in QUANTILES {
-                        let _ = write!(out, ",\"p{}\":{}", (q * 100.0) as u64, h.percentile(q));
+                        fields.push((
+                            format!("p{}", (q * 100.0) as u64),
+                            Json::Num(h.percentile(q) as f64),
+                        ));
                     }
-                    out.push('}');
+                    fields
                 }
-            }
+            };
+            metrics.push((name.clone(), Json::Obj(fields)));
         }
-        out.push('}');
-        out
+        Json::Obj(metrics).render()
     }
 }
 
@@ -407,6 +411,32 @@ mod tests {
         assert!(json.contains("\"a_total\":{\"type\":\"counter\",\"value\":5}"));
         assert!(json.contains("\"b\":{\"type\":\"gauge\",\"value\":1.5}"));
         assert!(json.contains("\"c_nanos\":{\"type\":\"histogram\",\"count\":1"));
+    }
+
+    #[test]
+    fn json_snapshot_reparses_under_the_strict_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "").add(5);
+        reg.gauge("b", "").set(f64::NAN); // rendered as 0.0, still valid JSON
+        let h = reg.histogram("c_nanos", "");
+        for v in [100u64, 900, 12345] {
+            h.record(v);
+        }
+        let snapshot = crate::json::parse(&reg.render_json()).expect("snapshot must reparse");
+        assert_eq!(
+            snapshot
+                .get("a_total")
+                .and_then(|m| m.get("value"))
+                .and_then(crate::json::Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            snapshot
+                .get("c_nanos")
+                .and_then(|m| m.get("count"))
+                .and_then(crate::json::Json::as_u64),
+            Some(3)
+        );
     }
 
     #[test]

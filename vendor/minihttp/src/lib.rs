@@ -1,0 +1,508 @@
+//! Minimal HTTP/1.1 codec — just enough protocol for a JSON API server.
+//!
+//! The serving front-end needs five routes, small JSON bodies, and curl
+//! compatibility; it does not need a web framework. This crate is the
+//! transport slice only: parse one request off a [`BufRead`]
+//! ([`read_request`]), write one response to a [`Write`]
+//! ([`Response::write_to`]), and classify what went wrong precisely enough
+//! for the caller to pick a status code ([`Error`]).
+//!
+//! Scope, by design:
+//!
+//! * HTTP/1.0 and 1.1 only; a 1.1 connection keeps alive unless asked not
+//!   to, a 1.0 connection closes unless asked to stay.
+//! * Bodies travel with an explicit `Content-Length`. `Transfer-Encoding`
+//!   (chunked and otherwise) is out of scope and rejected as
+//!   [`Error::Unsupported`] — the caller answers 501.
+//! * Strict line discipline: request line and headers end in CRLF, header
+//!   bytes and body bytes are capped by [`Limits`] before allocation.
+//!
+//! No TCP here: the caller owns the listener, the threads, and the
+//! shutdown story. Everything in this crate works on in-memory buffers,
+//! which is also how the tests drive it.
+
+use std::io::{self, BufRead, Write};
+
+/// Per-request parse caps, enforced *before* the offending bytes are
+/// buffered — a hostile peer cannot make the server allocate past them.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Max bytes in the request line + headers block (CRLFs included).
+    pub max_head_bytes: usize,
+    /// Max bytes in the body (`Content-Length` above this is refused
+    /// without reading the body).
+    pub max_body_bytes: usize,
+    /// Max number of header lines.
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            max_headers: 64,
+        }
+    }
+}
+
+/// Why a request could not be read. The variants split along the status
+/// codes a server wants to answer with.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed request line, header, or framing → 400.
+    BadRequest(String),
+    /// Head or body exceeds [`Limits`] → 413 (or 431 for the head, if the
+    /// caller distinguishes).
+    TooLarge(String),
+    /// Syntactically valid HTTP we deliberately don't speak (chunked
+    /// transfer, HTTP/2 preface) → 501.
+    Unsupported(String),
+    /// The underlying transport failed mid-request.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadRequest(m) => write!(f, "bad request: {m}"),
+            Error::TooLarge(m) => write!(f, "too large: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// One parsed request. Header names are lowercased at parse time; values
+/// keep their bytes (trimmed of surrounding whitespace).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token as sent: `GET`, `POST`, `DELETE`, …
+    pub method: String,
+    /// Path component of the target, before any `?`.
+    pub path: String,
+    /// Raw query string after `?`, if present (undecoded).
+    pub query: Option<String>,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// `(lowercased-name, value)` in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with an explicit
+    /// `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Reads one line ending in CRLF, enforcing the remaining head budget.
+/// Returns the line without its CRLF. `Ok(None)` = clean EOF before any
+/// byte (the peer closed an idle connection).
+fn read_crlf_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> Result<Option<String>, Error> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(Error::BadRequest("eof inside header line".into()));
+            }
+            Ok(_) => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+        if *budget == 0 {
+            return Err(Error::TooLarge("request head exceeds limit".into()));
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            if line.last() != Some(&b'\r') {
+                return Err(Error::BadRequest("header line ends in bare LF".into()));
+            }
+            line.pop();
+            let text = String::from_utf8(line)
+                .map_err(|_| Error::BadRequest("non-UTF-8 header bytes".into()))?;
+            return Ok(Some(text));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Parses one request off `reader`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests; errors classify how the bytes were
+/// wrong (see [`Error`]).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: &Limits,
+) -> Result<Option<Request>, Error> {
+    let mut budget = limits.max_head_bytes;
+    let request_line = match read_crlf_line(reader, &mut budget)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+
+    if request_line.starts_with("PRI * HTTP/2") {
+        return Err(Error::Unsupported("HTTP/2 not spoken here".into()));
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| Error::BadRequest("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| Error::BadRequest("missing or relative target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| Error::BadRequest("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(Error::BadRequest("extra tokens in request line".into()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        "HTTP/2.0" => return Err(Error::Unsupported("HTTP/2 not spoken here".into())),
+        other => return Err(Error::BadRequest(format!("bad version {other:?}"))),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_crlf_line(reader, &mut budget)?
+            .ok_or_else(|| Error::BadRequest("eof inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(Error::TooLarge("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| Error::BadRequest(format!("header without colon: {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(Error::BadRequest(format!("bad header name: {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        query,
+        http11,
+        headers,
+        body: Vec::new(),
+    };
+
+    if req.header("transfer-encoding").is_some() {
+        return Err(Error::Unsupported(
+            "transfer-encoding (chunked) not supported; send Content-Length".into(),
+        ));
+    }
+    let content_length = match req.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| Error::BadRequest(format!("bad Content-Length {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(Error::TooLarge(format!(
+            "body of {content_length} bytes exceeds limit of {}",
+            limits.max_body_bytes
+        )));
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                Error::BadRequest("body shorter than Content-Length".into())
+            } else {
+                Error::Io(e)
+            }
+        })?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// One response, built fluently and serialized with [`Response::write_to`].
+/// `Content-Length` and `Connection` are always emitted by the writer;
+/// everything else is whatever the builder added.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// JSON body with `Content-Type: application/json`.
+    pub fn json(status: u16, body: String) -> Self {
+        Response::new(status)
+            .header("content-type", "application/json")
+            .body(body.into_bytes())
+    }
+
+    /// Plain-text body (the Prometheus exposition route uses this with its
+    /// own content type on top).
+    pub fn text(status: u16, body: &str) -> Self {
+        Response::new(status)
+            .header("content-type", "text/plain; charset=utf-8")
+            .body(body.as_bytes().to_vec())
+    }
+
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        // Last writer wins, so routes can override the builder defaults
+        // (e.g. the exposition content type).
+        self.headers.retain(|(k, _)| !k.eq_ignore_ascii_case(name));
+        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    pub fn body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Serializes status line, headers, framing, and body. `keep_alive`
+    /// decides the `Connection` header — the caller threads through
+    /// [`Request::keep_alive`] (or forces `false` when shutting down).
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, Error> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_with_headers_and_query() {
+        let req = parse(b"GET /v1/info?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Api-Key: k1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/info");
+        assert_eq!(req.query.as_deref(), Some("verbose=1"));
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("X-API-KEY"), Some("k1"), "lookup is case-insensitive");
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse(b"POST /v1/query HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"k\":3}ABCD")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"{\"k\":3}ABCD");
+    }
+
+    #[test]
+    fn two_requests_on_one_connection_then_clean_eof() {
+        let bytes: &[u8] =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let mut reader = BufReader::new(bytes);
+        let limits = Limits::default();
+        let a = read_request(&mut reader, &limits).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        let b = read_request(&mut reader, &limits).unwrap().unwrap();
+        assert_eq!((b.path.as_str(), b.body.as_slice()), ("/b", &b"hi"[..]));
+        assert!(read_request(&mut reader, &limits).unwrap().is_none());
+    }
+
+    #[test]
+    fn keep_alive_semantics_by_version_and_header() {
+        let v11 = parse(b"GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(v11.keep_alive());
+        let v11_close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!v11_close.keep_alive());
+        let v10 = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!v10.keep_alive());
+        let v10_ka = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(v10_ka.keep_alive());
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_requests() {
+        for bytes in [
+            &b"FLOOP\r\n\r\n"[..],                          // no target/version
+            b"GET /a HTTP/1.1 extra\r\n\r\n",               // 4 tokens
+            b"get /a HTTP/1.1\r\n\r\n",                     // lowercase method
+            b"GET a HTTP/1.1\r\n\r\n",                      // relative target
+            b"GET /a HTTP/9.9\r\n\r\n",                     // unknown version
+            b"GET /a HTTP/1.1\nHost: x\n\n",                // bare LF lines
+            b"GET /a HTTP/1.1\r\nNoColonHere\r\n\r\n",      // header w/o colon
+            b"POST /a HTTP/1.1\r\ncontent-length: ten\r\n\r\n", // bad length
+            b"POST /a HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort", // truncated body
+            b"GET /a HTTP/1.1\r\nHost",                     // eof mid-line
+        ] {
+            match parse(bytes) {
+                Err(Error::BadRequest(_)) => {}
+                other => panic!("{:?} should be BadRequest, got {other:?}", bytes),
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_and_h2_are_unsupported() {
+        let chunked = parse(b"POST /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(matches!(chunked, Err(Error::Unsupported(_))));
+        let h2 = parse(b"PRI * HTTP/2.0\r\n\r\n");
+        assert!(matches!(h2, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn limits_cap_head_body_and_header_count() {
+        let tight = Limits {
+            max_head_bytes: 32,
+            max_body_bytes: 8,
+            max_headers: 2,
+        };
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        let res = read_request(&mut BufReader::new(long_head.as_bytes()), &tight);
+        assert!(matches!(res, Err(Error::TooLarge(_))), "head cap");
+
+        let big_body = b"POST /a HTTP/1.1\r\ncontent-length: 9\r\n\r\n123456789";
+        let res = read_request(&mut BufReader::new(&big_body[..]), &tight);
+        assert!(matches!(res, Err(Error::TooLarge(_))), "body cap");
+
+        let many = b"GET /a HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        let res = read_request(
+            &mut BufReader::new(&many[..]),
+            &Limits {
+                max_head_bytes: 1024,
+                ..tight
+            },
+        );
+        assert!(matches!(res, Err(Error::TooLarge(_))), "header-count cap");
+    }
+
+    #[test]
+    fn response_wire_format_and_header_override() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        Response::text(200, "hi")
+            .header("Content-Type", "text/plain; version=0.0.4")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.matches("content-type").count(),
+            1,
+            "override must replace, not duplicate: {text}"
+        );
+        assert!(text.contains("text/plain; version=0.0.4"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn retry_after_header_for_backpressure_statuses() {
+        let mut out = Vec::new();
+        Response::json(429, "{}".into())
+            .header("retry-after", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+    }
+}
